@@ -1,0 +1,54 @@
+// Benchsuite regenerates every table and figure of the reproduced
+// evaluation (see EXPERIMENTS.md) and prints them in order. Pass experiment
+// IDs (e.g. "T1 F7 A2") to run a subset; -list shows what exists.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"govisor/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := bench.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, arg := range flag.Args() {
+		want[strings.ToUpper(arg)] = true
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("══ %s — %s ══\n", e.ID, e.Name)
+		fmt.Printf("expected shape: %s\n\n", e.Notes)
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Printf("FAILED: %v\n\n", err)
+			failed++
+			continue
+		}
+		fmt.Print(table.String())
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiments failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,133 @@
+// Govisor runs a guest VM from the command line: either the built-in
+// universal kernel with a named workload, or a flat GV64 binary produced by
+// gvasm.
+//
+// Examples:
+//
+//	govisor -mode trap -workload compute -iters 10000
+//	govisor -mode hw -workload memtouch -pages 512 -iters 50
+//	govisor -mode native -image prog.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"govisor"
+	"govisor/internal/gabi"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("govisor: ")
+
+	var (
+		modeName = flag.String("mode", "hw", "virtualization mode: native, trap, para, hw")
+		memMB    = flag.Uint64("mem", 16, "guest RAM in MiB")
+		poolMB   = flag.Uint64("pool", 64, "host memory pool in MiB")
+		image    = flag.String("image", "", "flat guest binary (from gvasm) instead of the built-in kernel")
+		workload = flag.String("workload", "compute", "built-in workload: compute, memtouch, ptchurn, syscall, csr, dirty, idle")
+		iters    = flag.Uint64("iters", 1000, "workload iterations")
+		pages    = flag.Uint64("pages", 64, "workload working-set pages")
+		arg0     = flag.Uint64("arg0", 0, "workload-specific argument")
+		writes   = flag.Uint64("writes", 50, "write percentage for memtouch")
+		budget   = flag.Uint64("budget", 60_000, "run budget in millions of cycles")
+		stats    = flag.Bool("stats", true, "print execution statistics")
+	)
+	flag.Parse()
+
+	var mode govisor.Mode
+	switch *modeName {
+	case "native":
+		mode = govisor.ModeNative
+	case "trap":
+		mode = govisor.ModeTrap
+	case "para":
+		mode = govisor.ModePara
+	case "hw":
+		mode = govisor.ModeHW
+	default:
+		log.Fatalf("unknown mode %q", *modeName)
+	}
+
+	pool := govisor.NewPool(*poolMB << 20 >> 12)
+	vm, err := govisor.NewVM(pool, govisor.Config{
+		Name: "cli", Mode: mode, MemBytes: *memMB << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var kernel []byte
+	if *image != "" {
+		kernel, err = os.ReadFile(*image)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		kernel, err = govisor.BuildKernel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := workloadFor(*workload, *iters, *pages, *arg0, *writes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w.Apply(vm)
+	}
+
+	if err := vm.Boot(kernel); err != nil {
+		log.Fatal(err)
+	}
+	state := vm.RunToHalt(*budget * 1_000_000)
+
+	if out := vm.Output(); out != "" {
+		fmt.Print(out)
+	}
+	fmt.Printf("state: %v (halt code %d)\n", state, vm.HaltCode)
+	if vm.Err != nil {
+		log.Fatal(vm.Err)
+	}
+	if *stats {
+		cpu := vm.CPU
+		fmt.Printf("cycles: %d  instructions: %d  traps: %d\n",
+			cpu.Cycles, cpu.Instret, cpu.Stats.Traps)
+		fmt.Printf("result0: %d  result1: %d\n",
+			vm.Result(gabi.PResult0), vm.Result(gabi.PResult1))
+		fmt.Printf("vmm: hypercalls=%d injections=%d shadow-fills=%d pt-emuls=%d para-maps=%d mmio=%d demand-fills=%d\n",
+			vm.Stats.Hypercalls, vm.Stats.Injections, vm.Stats.ShadowFills,
+			vm.Stats.PTWriteEmuls, vm.Stats.ParaMaps, vm.Stats.MMIOExits, vm.Stats.DemandFills)
+		tlb := vm.MMUCtx.TLB
+		fmt.Printf("tlb: hits=%d misses=%d (%.1f%% hit rate)\n",
+			tlb.Stats.Hits, tlb.Stats.Misses, 100*tlb.HitRate())
+	}
+	if state != govisor.StateHalted {
+		os.Exit(1)
+	}
+}
+
+func workloadFor(name string, iters, pages, arg0, writes uint64) (govisor.Workload, error) {
+	switch name {
+	case "compute":
+		return govisor.Compute(iters, arg0), nil
+	case "memtouch":
+		return govisor.MemTouch(iters, pages, writes), nil
+	case "ptchurn":
+		return govisor.PTChurn(iters, arg0 != 0), nil
+	case "syscall":
+		return govisor.Syscall(iters), nil
+	case "csr":
+		return govisor.CSRLoop(iters), nil
+	case "dirty":
+		return govisor.Dirty(iters, pages, arg0), nil
+	case "idle":
+		period := arg0
+		if period == 0 {
+			period = 100_000
+		}
+		return govisor.Idle(iters, period), nil
+	}
+	return govisor.Workload{}, fmt.Errorf("unknown workload %q", name)
+}

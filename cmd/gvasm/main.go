@@ -1,0 +1,65 @@
+// Gvasm assembles GV64 source (.gvs) into a flat binary runnable by
+// `govisor -image`, and disassembles binaries back to mnemonics.
+//
+//	gvasm prog.gvs            # assemble → prog.bin
+//	gvasm -o out.bin prog.gvs
+//	gvasm -d prog.bin         # disassemble to stdout
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"govisor/internal/asm"
+	"govisor/internal/gabi"
+	"govisor/internal/isa"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gvasm: ")
+	var (
+		out    = flag.String("o", "", "output file (default: input with .bin)")
+		disasm = flag.Bool("d", false, "disassemble a binary instead")
+		org    = flag.Uint64("org", gabi.KernelBase, "load/link address")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: gvasm [-d] [-o out.bin] file")
+	}
+	in := flag.Arg(0)
+	data, err := os.ReadFile(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *disasm {
+		for off := 0; off+4 <= len(data); off += 4 {
+			w := binary.LittleEndian.Uint32(data[off:])
+			inst := isa.Decode(w)
+			text := isa.Disasm(inst)
+			if !inst.Op.Valid() {
+				text = fmt.Sprintf(".word 0x%08x", w)
+			}
+			fmt.Printf("%08x:  %08x  %s\n", *org+uint64(off), w, text)
+		}
+		return
+	}
+
+	img, err := asm.Assemble(string(data), *org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".gvs") + ".bin"
+	}
+	if err := os.WriteFile(dst, img, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d bytes at %#x\n", dst, len(img), *org)
+}

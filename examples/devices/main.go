@@ -1,0 +1,105 @@
+// Devices: drive the same disk and NIC traffic through the fully-emulated
+// programmed-I/O devices and through virtio, counting VM exits and guest
+// cycles — the reason every production hypervisor ships paravirtual I/O.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"govisor"
+)
+
+const vmRAM = 8 << 20
+
+func main() {
+	fmt.Println("device path comparison (64 sectors written, 64 frames sent)")
+	fmt.Printf("%-22s %14s %12s %14s\n", "path", "guest cycles", "mmio exits", "per operation")
+
+	// --- disk ---
+	{
+		vm := newVM()
+		if _, err := vm.AttachPIODisk(govisor.NewRawImage(4096)); err != nil {
+			log.Fatal(err)
+		}
+		prog, err := govisor.BuildPIODiskProgram(64, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cyc, exits := run(vm, prog)
+		fmt.Printf("%-22s %14d %12d %11.1f ex\n", "disk: programmed-I/O", cyc, exits, float64(exits)/64)
+	}
+	for _, batch := range []uint64{1, 8, 32} {
+		vm := newVM()
+		if _, _, err := vm.AttachVirtioBlk(govisor.NewRawImage(4096)); err != nil {
+			log.Fatal(err)
+		}
+		prog, err := govisor.BuildVirtioBlkProgram(64, batch, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cyc, exits := run(vm, prog)
+		fmt.Printf("disk: virtio (batch %2d) %14d %12d %11.1f ex\n", batch, cyc, exits, float64(exits)/64)
+	}
+
+	// --- network ---
+	{
+		vm := newVM()
+		sw := govisor.NewSwitch()
+		if _, err := vm.AttachRegNIC(sw.NewPort()); err != nil {
+			log.Fatal(err)
+		}
+		sw.NewPort() // sink
+		prog, err := govisor.BuildRegNICProgram(64, 256)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cyc, exits := run(vm, prog)
+		fmt.Printf("%-22s %14d %12d %11.1f ex\n", "net: register NIC", cyc, exits, float64(exits)/64)
+	}
+	{
+		vm := newVM()
+		sw := govisor.NewSwitch()
+		if _, _, err := vm.AttachVirtioNet(sw.NewPort()); err != nil {
+			log.Fatal(err)
+		}
+		sw.NewPort()
+		prog, err := govisor.BuildVirtioNetProgram(64, 16, 256, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cyc, exits := run(vm, prog)
+		fmt.Printf("%-22s %14d %12d %11.1f ex\n", "net: virtio (batch 16)", cyc, exits, float64(exits)/64)
+	}
+	fmt.Println("\nvirtio collapses per-register exits into one doorbell per batch;")
+	fmt.Println("exits per op is the whole story.")
+}
+
+func newVM() *govisor.VM {
+	vm, err := govisor.NewVM(govisor.NewPool(2*vmRAM>>12), govisor.Config{
+		Name: "dev", Mode: govisor.ModeHW, MemBytes: vmRAM,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return vm
+}
+
+func run(vm *govisor.VM, prog []byte) (cycles, mmioExits uint64) {
+	if err := vm.Boot(prog); err != nil {
+		log.Fatal(err)
+	}
+	if st := vm.RunToHalt(10_000_000_000); st != govisor.StateHalted || vm.HaltCode != 0 {
+		log.Fatalf("state %v code %#x err %v", st, vm.HaltCode, vm.Err)
+	}
+	var start, end uint64
+	for _, m := range vm.Markers {
+		switch m.ID {
+		case 1:
+			start = m.Cycles
+		case 2:
+			end = m.Cycles
+		}
+	}
+	return end - start, vm.Stats.MMIOExits
+}

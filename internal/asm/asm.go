@@ -1,0 +1,349 @@
+// Package asm implements a two-pass assembler for the GV64 instruction set.
+//
+// Guest software in govisor — the guest kernel and every benchmark workload —
+// is produced either programmatically through Builder (the common path: guest
+// code generators in internal/guest compose programs in Go) or from textual
+// .gvs source via Assemble (used by cmd/gvasm).
+//
+// Builder records instructions and data into a flat image based at Org, with
+// symbolic labels resolved on Finish. Pseudo-instructions (li, la, mv, j,
+// call, ret, nop, csrr, csrw) expand to core GV64 sequences.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"govisor/internal/isa"
+)
+
+// Builder assembles a GV64 program image.
+//
+// The zero value is not ready for use; construct with NewBuilder.
+type Builder struct {
+	org    uint64
+	buf    []byte
+	labels map[string]uint64
+	equs   map[string]uint64
+	fixups []fixup
+	errs   []error
+}
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // 16-bit PC-relative byte offset
+	fixJal                     // 21-bit PC-relative word offset
+	fixLaHi                    // LUI with target>>16
+	fixLaLo                    // ORI with target&0xFFFF
+	fixDword                   // 64-bit absolute data word
+)
+
+type fixup struct {
+	off   uint64 // byte offset into buf of the word to patch
+	label string
+	kind  fixupKind
+}
+
+// NewBuilder returns a Builder whose image starts at base address org.
+func NewBuilder(org uint64) *Builder {
+	return &Builder{
+		org:    org,
+		labels: make(map[string]uint64),
+		equs:   make(map[string]uint64),
+	}
+}
+
+// Org returns the image base address.
+func (b *Builder) Org() uint64 { return b.org }
+
+// PC returns the address of the next byte to be emitted.
+func (b *Builder) PC() uint64 { return b.org + uint64(len(b.buf)) }
+
+// Len returns the current image size in bytes.
+func (b *Builder) Len() int { return len(b.buf) }
+
+func (b *Builder) errorf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Label defines name at the current PC. Redefinition is an error.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errorf("asm: label %q redefined", name)
+		return
+	}
+	b.labels[name] = b.PC()
+}
+
+// Equ defines a symbolic constant usable by La/Li fixups in textual source.
+func (b *Builder) Equ(name string, val uint64) {
+	b.equs[name] = val
+}
+
+// EquValue resolves a symbolic constant defined with Equ.
+func (b *Builder) EquValue(name string) (uint64, bool) {
+	v, ok := b.equs[name]
+	return v, ok
+}
+
+// LabelAddr returns the address of a previously defined label; it is an
+// error to query a label before Finish resolves forward references, so this
+// is only valid for labels already defined.
+func (b *Builder) LabelAddr(name string) (uint64, bool) {
+	a, ok := b.labels[name]
+	return a, ok
+}
+
+func (b *Builder) word(w uint32) {
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, w)
+}
+
+// Raw emits a pre-encoded instruction word.
+func (b *Builder) Raw(w uint32) { b.word(w) }
+
+// Inst emits a decoded instruction.
+func (b *Builder) Inst(in isa.Inst) { b.word(isa.Encode(in)) }
+
+// R emits a register-register instruction.
+func (b *Builder) R(op isa.Op, rd, rs1, rs2 uint8) {
+	b.Inst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// I emits an immediate-format instruction, range-checking the immediate.
+func (b *Builder) I(op isa.Op, rd, rs1 uint8, imm int64) {
+	if isa.SignExtendsImm(op) {
+		if imm < -32768 || imm > 32767 {
+			b.errorf("asm: %s immediate %d out of signed 16-bit range at %#x", op, imm, b.PC())
+		}
+	} else if imm < 0 || imm > 0xFFFF {
+		b.errorf("asm: %s immediate %d out of unsigned 16-bit range at %#x", op, imm, b.PC())
+	}
+	b.Inst(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+}
+
+// Load emits a load instruction rd ← [rs1+off].
+func (b *Builder) Load(op isa.Op, rd, base uint8, off int64) { b.I(op, rd, base, off) }
+
+// Store emits a store instruction [base+off] ← src.
+func (b *Builder) Store(op isa.Op, src, base uint8, off int64) {
+	if off < -32768 || off > 32767 {
+		b.errorf("asm: store offset %d out of range at %#x", off, b.PC())
+	}
+	b.Inst(isa.Inst{Op: op, Rs1: base, Rs2: src, Imm: int32(off)})
+}
+
+// Branch emits a conditional branch to a label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 uint8, label string) {
+	b.fixups = append(b.fixups, fixup{off: uint64(len(b.buf)), label: label, kind: fixBranch})
+	b.Inst(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// Jal emits jal rd, label.
+func (b *Builder) Jal(rd uint8, label string) {
+	b.fixups = append(b.fixups, fixup{off: uint64(len(b.buf)), label: label, kind: fixJal})
+	b.Inst(isa.Inst{Op: isa.OpJAL, Rd: rd})
+}
+
+// Jalr emits jalr rd, off(rs1).
+func (b *Builder) Jalr(rd, rs1 uint8, off int64) { b.I(isa.OpJALR, rd, rs1, off) }
+
+// J emits an unconditional jump (jal zero, label).
+func (b *Builder) J(label string) { b.Jal(isa.RegZero, label) }
+
+// Call emits jal ra, label.
+func (b *Builder) Call(label string) { b.Jal(isa.RegRA, label) }
+
+// Ret emits jalr zero, 0(ra).
+func (b *Builder) Ret() { b.Jalr(isa.RegZero, isa.RegRA, 0) }
+
+// Nop emits addi zero, zero, 0.
+func (b *Builder) Nop() { b.I(isa.OpADDI, 0, 0, 0) }
+
+// Mv emits mv rd, rs (addi rd, rs, 0).
+func (b *Builder) Mv(rd, rs uint8) { b.I(isa.OpADDI, rd, rs, 0) }
+
+// Li loads an arbitrary 64-bit constant into rd using the shortest
+// addi/lui/ori/slli sequence (1–7 instructions).
+func (b *Builder) Li(rd uint8, v uint64) {
+	sv := int64(v)
+	switch {
+	case sv >= -32768 && sv <= 32767:
+		b.I(isa.OpADDI, rd, isa.RegZero, sv)
+	case sv >= -(1<<31) && sv < 1<<31 && v&0xFFFF == 0:
+		b.I(isa.OpLUI, rd, 0, int64(int16(uint16(v>>16))))
+	case sv >= -(1<<31) && sv < 1<<31:
+		b.I(isa.OpLUI, rd, 0, int64(int16(uint16(v>>16))))
+		b.I(isa.OpXORI, rd, rd, int64(v&0xFFFF))
+		// XORI with zero-extended low bits: LUI already produced the high
+		// half; low 16 bits of LUI result are zero, so xor sets them exactly.
+	default:
+		// General 64-bit: build from the top in 16-bit chunks.
+		// addi rd, zero, top16 (sign bits shift out), then 3 × (slli 16; ori).
+		b.I(isa.OpADDI, rd, isa.RegZero, int64(int16(uint16(v>>48))))
+		for shift := 32; shift >= 0; shift -= 16 {
+			b.I(isa.OpSLLI, rd, rd, 16)
+			b.I(isa.OpORI, rd, rd, int64(v>>uint(shift)&0xFFFF))
+		}
+	}
+}
+
+// La loads the address of label into rd. The sequence is a fixed two
+// instructions (lui+ori), so the target must resolve below 2³¹; govisor
+// guest images always do.
+func (b *Builder) La(rd uint8, label string) {
+	b.fixups = append(b.fixups, fixup{off: uint64(len(b.buf)), label: label, kind: fixLaHi})
+	b.I(isa.OpLUI, rd, 0, 0)
+	b.fixups = append(b.fixups, fixup{off: uint64(len(b.buf)), label: label, kind: fixLaLo})
+	b.I(isa.OpORI, rd, rd, 0)
+}
+
+// Csrr emits csrrs rd, csr, zero (read CSR).
+func (b *Builder) Csrr(rd uint8, csr uint16) {
+	b.Inst(isa.Inst{Op: isa.OpCSRRS, Rd: rd, Rs1: isa.RegZero, Imm: int32(csr)})
+}
+
+// Csrw emits csrrw zero, csr, rs (write CSR).
+func (b *Builder) Csrw(csr uint16, rs uint8) {
+	b.Inst(isa.Inst{Op: isa.OpCSRRW, Rd: isa.RegZero, Rs1: rs, Imm: int32(csr)})
+}
+
+// Csrrw emits the full read-write form.
+func (b *Builder) Csrrw(rd uint8, csr uint16, rs uint8) {
+	b.Inst(isa.Inst{Op: isa.OpCSRRW, Rd: rd, Rs1: rs, Imm: int32(csr)})
+}
+
+// Csrs emits csrrs zero, csr, rs (set bits).
+func (b *Builder) Csrs(csr uint16, rs uint8) {
+	b.Inst(isa.Inst{Op: isa.OpCSRRS, Rd: isa.RegZero, Rs1: rs, Imm: int32(csr)})
+}
+
+// Csrc emits csrrc zero, csr, rs (clear bits).
+func (b *Builder) Csrc(csr uint16, rs uint8) {
+	b.Inst(isa.Inst{Op: isa.OpCSRRC, Rd: isa.RegZero, Rs1: rs, Imm: int32(csr)})
+}
+
+// Ecall emits an environment call.
+func (b *Builder) Ecall() { b.Inst(isa.Inst{Op: isa.OpECALL}) }
+
+// Ebreak emits a breakpoint.
+func (b *Builder) Ebreak() { b.Inst(isa.Inst{Op: isa.OpEBREAK}) }
+
+// Sret emits a return-from-trap.
+func (b *Builder) Sret() { b.Inst(isa.Inst{Op: isa.OpSRET}) }
+
+// Wfi emits wait-for-interrupt.
+func (b *Builder) Wfi() { b.Inst(isa.Inst{Op: isa.OpWFI}) }
+
+// SfenceVMA emits sfence.vma rs1(addr), rs2(asid); zero registers mean "all".
+func (b *Builder) SfenceVMA(addrReg, asidReg uint8) {
+	b.Inst(isa.Inst{Op: isa.OpSFENCE, Rs1: addrReg, Rs2: asidReg})
+}
+
+// Halt emits halt with a diagnostic code.
+func (b *Builder) Halt(code uint16) {
+	b.Inst(isa.Inst{Op: isa.OpHALT, Imm: int32(code)})
+}
+
+// Dword emits a 64-bit little-endian data word.
+func (b *Builder) Dword(v uint64) {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+}
+
+// DwordLabel emits a 64-bit data word holding the address of label.
+func (b *Builder) DwordLabel(label string) {
+	b.fixups = append(b.fixups, fixup{off: uint64(len(b.buf)), label: label, kind: fixDword})
+	b.Dword(0)
+}
+
+// Word emits a 32-bit little-endian data word.
+func (b *Builder) Word(v uint32) { b.word(v) }
+
+// Byte emits raw bytes.
+func (b *Builder) Byte(v ...byte) { b.buf = append(b.buf, v...) }
+
+// Asciiz emits a NUL-terminated string.
+func (b *Builder) Asciiz(s string) {
+	b.buf = append(b.buf, s...)
+	b.buf = append(b.buf, 0)
+}
+
+// Align pads with zero bytes to the given power-of-two boundary.
+func (b *Builder) Align(n int) {
+	if n <= 0 || n&(n-1) != 0 {
+		b.errorf("asm: alignment %d not a power of two", n)
+		return
+	}
+	for b.PC()%uint64(n) != 0 {
+		b.buf = append(b.buf, 0)
+	}
+}
+
+// Space reserves n zero bytes.
+func (b *Builder) Space(n int) {
+	b.buf = append(b.buf, make([]byte, n)...)
+}
+
+// resolve looks a symbol up in labels then equs.
+func (b *Builder) resolve(name string) (uint64, bool) {
+	if a, ok := b.labels[name]; ok {
+		return a, true
+	}
+	a, ok := b.equs[name]
+	return a, ok
+}
+
+// Finish resolves all fixups and returns the image. The image loads at
+// Org(); execution conventionally begins at Org() unless the caller tracks
+// an entry label itself.
+func (b *Builder) Finish() ([]byte, error) {
+	for _, f := range b.fixups {
+		target, ok := b.resolve(f.label)
+		if !ok {
+			b.errorf("asm: undefined label %q", f.label)
+			continue
+		}
+		switch f.kind {
+		case fixBranch:
+			pc := b.org + f.off
+			delta := int64(target) - int64(pc)
+			if delta < -32768 || delta > 32767 || delta%4 != 0 {
+				b.errorf("asm: branch to %q out of range (%d bytes)", f.label, delta)
+				continue
+			}
+			b.patch16(f.off, uint16(int16(delta)))
+		case fixJal:
+			pc := b.org + f.off
+			delta := int64(target) - int64(pc)
+			if delta < -(1<<22) || delta >= 1<<22 || delta%4 != 0 {
+				b.errorf("asm: jal to %q out of range (%d bytes)", f.label, delta)
+				continue
+			}
+			w := binary.LittleEndian.Uint32(b.buf[f.off:])
+			w = w&^0x1FFFFF | uint32(delta>>2)&0x1FFFFF
+			binary.LittleEndian.PutUint32(b.buf[f.off:], w)
+		case fixLaHi:
+			if target >= 1<<31 {
+				b.errorf("asm: la target %q = %#x exceeds 31-bit range", f.label, target)
+				continue
+			}
+			b.patch16(f.off, uint16(target>>16))
+		case fixLaLo:
+			b.patch16(f.off, uint16(target))
+		case fixDword:
+			binary.LittleEndian.PutUint64(b.buf[f.off:], target)
+		}
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("asm: %d errors, first: %w", len(b.errs), b.errs[0])
+	}
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out, nil
+}
+
+func (b *Builder) patch16(off uint64, v uint16) {
+	w := binary.LittleEndian.Uint32(b.buf[off:])
+	w = w&^0xFFFF | uint32(v)
+	binary.LittleEndian.PutUint32(b.buf[off:], w)
+}

@@ -1,0 +1,327 @@
+package asm
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"govisor/internal/isa"
+)
+
+func decodeAt(t *testing.T, img []byte, off int) isa.Inst {
+	t.Helper()
+	if off+4 > len(img) {
+		t.Fatalf("image too short: want word at %d, len %d", off, len(img))
+	}
+	return isa.Decode(binary.LittleEndian.Uint32(img[off:]))
+}
+
+func TestBuilderBasicEmit(t *testing.T) {
+	b := NewBuilder(0x1000)
+	b.R(isa.OpADD, isa.RegA0, isa.RegA1, isa.RegA2)
+	b.I(isa.OpADDI, isa.RegT0, isa.RegZero, -7)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 8 {
+		t.Fatalf("len = %d", len(img))
+	}
+	if in := decodeAt(t, img, 0); in.Op != isa.OpADD || in.Rd != isa.RegA0 {
+		t.Errorf("word0 = %+v", in)
+	}
+	if in := decodeAt(t, img, 4); in.Op != isa.OpADDI || in.Imm != -7 {
+		t.Errorf("word1 = %+v", in)
+	}
+}
+
+func TestBranchBackwardAndForward(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("top")
+	b.Nop()
+	b.Branch(isa.OpBEQ, 1, 2, "top") // at 4, target 0 ⇒ -4
+	b.Branch(isa.OpBNE, 3, 4, "end") // at 8, target 12 ⇒ +4
+	b.Label("end")
+	b.Nop()
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, img, 4); in.Imm != -4 {
+		t.Errorf("backward branch imm = %d", in.Imm)
+	}
+	if in := decodeAt(t, img, 8); in.Imm != 4 {
+		t.Errorf("forward branch imm = %d", in.Imm)
+	}
+}
+
+func TestJalFixup(t *testing.T) {
+	b := NewBuilder(0x2000)
+	b.Jal(isa.RegRA, "fn") // at 0x2000
+	b.Halt(0)
+	b.Label("fn")
+	b.Ret()
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, img, 0); in.Op != isa.OpJAL || in.Imm != 8 {
+		t.Errorf("jal = %+v, want imm 8", in)
+	}
+}
+
+func TestUndefinedLabelFails(t *testing.T) {
+	b := NewBuilder(0)
+	b.J("nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestDuplicateLabelFails(t *testing.T) {
+	b := NewBuilder(0)
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestBranchOutOfRangeFails(t *testing.T) {
+	b := NewBuilder(0)
+	b.Branch(isa.OpBEQ, 0, 0, "far")
+	b.Space(40000)
+	b.Align(4)
+	b.Label("far")
+	b.Nop()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestImmediateRangeChecks(t *testing.T) {
+	b := NewBuilder(0)
+	b.I(isa.OpADDI, 1, 0, 40000) // out of signed range
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected immediate range error")
+	}
+	b2 := NewBuilder(0)
+	b2.I(isa.OpORI, 1, 0, -1) // negative for zero-extended imm
+	if _, err := b2.Finish(); err == nil {
+		t.Fatal("expected unsigned immediate error")
+	}
+}
+
+// runLi simulates the emitted li sequence and returns the resulting register
+// value, verifying the expansion semantics without a full CPU.
+func runLi(t *testing.T, img []byte) uint64 {
+	t.Helper()
+	var x [32]uint64
+	for off := 0; off < len(img); off += 4 {
+		in := decodeAt(t, img, off)
+		switch in.Op {
+		case isa.OpADDI:
+			x[in.Rd] = x[in.Rs1] + uint64(int64(in.Imm))
+		case isa.OpLUI:
+			x[in.Rd] = uint64(int64(in.Imm)) << 16
+		case isa.OpORI:
+			x[in.Rd] = x[in.Rs1] | uint64(uint32(in.Imm))
+		case isa.OpXORI:
+			x[in.Rd] = x[in.Rs1] ^ uint64(uint32(in.Imm))
+		case isa.OpSLLI:
+			x[in.Rd] = x[in.Rs1] << uint(in.Imm&63)
+		default:
+			t.Fatalf("unexpected op %v in li expansion", in.Op)
+		}
+		if in.Rd == 0 {
+			x[0] = 0
+		}
+	}
+	return x[isa.RegA0]
+}
+
+func TestLiExpansionValues(t *testing.T) {
+	cases := []uint64{
+		0, 1, 0x7FFF, 0x8000, 0xFFFF, 0x10000, 0x12345678,
+		0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0x100000000,
+		0xDEADBEEFCAFEBABE, ^uint64(0), 1 << 63,
+		0xFFFFFFFFFFFF8000, // -32768
+		0xFFFFFFFF80000000, // int32 min
+	}
+	for _, v := range cases {
+		b := NewBuilder(0)
+		b.Li(isa.RegA0, v)
+		img, err := b.Finish()
+		if err != nil {
+			t.Fatalf("li %#x: %v", v, err)
+		}
+		if got := runLi(t, img); got != v {
+			t.Errorf("li %#x evaluated to %#x (seq %d instrs)", v, got, len(img)/4)
+		}
+	}
+}
+
+func TestLiExpansionProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		b := NewBuilder(0)
+		b.Li(isa.RegA0, v)
+		img, err := b.Finish()
+		if err != nil {
+			return false
+		}
+		return runLi(t, img) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiShortFormsAreShort(t *testing.T) {
+	b := NewBuilder(0)
+	b.Li(isa.RegA0, 5)
+	img, _ := b.Finish()
+	if len(img) != 4 {
+		t.Errorf("li 5 used %d instrs", len(img)/4)
+	}
+	b = NewBuilder(0)
+	b.Li(isa.RegA0, 0x12340000)
+	img, _ = b.Finish()
+	if len(img) != 4 {
+		t.Errorf("li 0x12340000 used %d instrs", len(img)/4)
+	}
+}
+
+func TestLaResolvesAddress(t *testing.T) {
+	b := NewBuilder(0x4000)
+	b.La(isa.RegA0, "data")
+	b.Halt(0)
+	b.Label("data")
+	b.Dword(99)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// la is lui+ori: target should be 0x4000 + 12.
+	if got := runLi(t, img[:8]); got != 0x400C {
+		t.Errorf("la resolved to %#x, want 0x400C", got)
+	}
+}
+
+func TestDwordLabelAndData(t *testing.T) {
+	b := NewBuilder(0x100)
+	b.DwordLabel("tgt")
+	b.Label("tgt")
+	b.Asciiz("hi")
+	b.Align(8)
+	b.Dword(0x1122334455667788)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(img); got != 0x108 {
+		t.Errorf("dword label = %#x, want 0x108", got)
+	}
+	if img[8] != 'h' || img[9] != 'i' || img[10] != 0 {
+		t.Errorf("asciiz bytes = %v", img[8:11])
+	}
+	if got := binary.LittleEndian.Uint64(img[16:]); got != 0x1122334455667788 {
+		t.Errorf("data dword = %#x", got)
+	}
+}
+
+func TestAlignPads(t *testing.T) {
+	b := NewBuilder(0)
+	b.Byte(1)
+	b.Align(8)
+	if b.Len() != 8 {
+		t.Errorf("len after align = %d", b.Len())
+	}
+	b.Align(3) // not a power of two
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected alignment error")
+	}
+}
+
+func TestAssembleTextProgram(t *testing.T) {
+	src := `
+# compute: a0 = 6*7, then halt
+.equ ANSWER, 42
+start:
+	li   a0, 6
+	li   a1, 7
+	mul  a0, a0, a1
+	li   t0, 42
+	bne  a0, t0, fail
+	halt 0
+fail:
+	halt 1
+
+	.align 8
+msg:
+	.asciiz "ok"
+table:
+	.dword msg, 0x10
+`
+	img, err := Assemble(src, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) == 0 {
+		t.Fatal("empty image")
+	}
+	in := decodeAt(t, img, 0)
+	if in.Op != isa.OpADDI || in.Imm != 6 {
+		t.Errorf("first instr %+v", in)
+	}
+}
+
+func TestAssembleTextCSRAndMem(t *testing.T) {
+	src := `
+	csrr  t0, satp
+	csrw  stvec, t0
+	csrrs a0, scause, zero
+	ld    a1, 8(sp)
+	sd    a1, -16(sp)
+	lw    a2, (gp)
+	sfence.vma zero, zero
+	ecall
+	sret
+	wfi
+`
+	img, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := decodeAt(t, img, 0); in.Op != isa.OpCSRRS || uint16(in.Imm) != isa.CSRSatp {
+		t.Errorf("csrr = %+v", in)
+	}
+	if in := decodeAt(t, img, 16); in.Op != isa.OpSD || in.Imm != -16 {
+		t.Errorf("sd = %+v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate a0, a1",
+		"addi a0, a1",      // missing imm
+		"ld a0, 8[sp]",     // bad operand
+		"li a0, zzz",       // bad number
+		"beq a0, a1",       // missing label
+		`.asciiz unquoted`, // bad string
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndBlank(t *testing.T) {
+	img, err := Assemble("\n  # only comments\n; and this\n\n", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != 0 {
+		t.Errorf("len = %d", len(img))
+	}
+}

@@ -1,0 +1,472 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"govisor/internal/isa"
+)
+
+// Assemble parses GV64 assembly source text and returns the program image
+// based at org. Syntax, one statement per line ('#' or ';' comments):
+//
+//	label:                       define a label
+//	.equ NAME value              symbolic constant
+//	.dword v | .word v | .byte v data (values or label names for .dword)
+//	.asciiz "text"               NUL-terminated string
+//	.align n | .space n          padding
+//	add rd, rs1, rs2             R-type
+//	addi rd, rs1, imm            I-type
+//	ld rd, off(rs1)              loads
+//	sd rs2, off(rs1)             stores
+//	beq rs1, rs2, label          branches
+//	jal rd, label | j label      jumps
+//	csrrw rd, csr, rs1           CSR ops (csr by name or number)
+//	li rd, value | la rd, label  pseudo
+//	mv rd, rs | call l | ret | nop
+//	ecall | ebreak | sret | wfi | halt code | sfence.vma rs1, rs2
+func Assemble(src string, org uint64) ([]byte, error) {
+	b := NewBuilder(org)
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Possibly "label: rest".
+		if i := strings.Index(line, ":"); i >= 0 && isIdent(line[:i]) {
+			b.Label(strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				continue
+			}
+		}
+		if err := parseStmt(b, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+	}
+	return b.Finish()
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#;"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.':
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseStmt(b *Builder, line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	args := splitArgs(rest)
+
+	switch mnemonic {
+	case ".equ":
+		if len(args) != 2 {
+			return fmt.Errorf(".equ wants NAME VALUE")
+		}
+		v, err := parseNum(args[1])
+		if err != nil {
+			return err
+		}
+		b.Equ(args[0], uint64(v))
+		return nil
+	case ".dword":
+		for _, a := range args {
+			if v, err := parseNum(a); err == nil {
+				b.Dword(uint64(v))
+			} else if isIdent(a) {
+				b.DwordLabel(a)
+			} else {
+				return fmt.Errorf("bad .dword operand %q", a)
+			}
+		}
+		return nil
+	case ".word":
+		for _, a := range args {
+			v, err := parseNum(a)
+			if err != nil {
+				return err
+			}
+			b.Word(uint32(v))
+		}
+		return nil
+	case ".byte":
+		for _, a := range args {
+			v, err := parseNum(a)
+			if err != nil {
+				return err
+			}
+			b.Byte(byte(v))
+		}
+		return nil
+	case ".asciiz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("bad string %q: %w", rest, err)
+		}
+		b.Asciiz(s)
+		return nil
+	case ".align":
+		v, err := parseNum(args[0])
+		if err != nil {
+			return err
+		}
+		b.Align(int(v))
+		return nil
+	case ".space":
+		v, err := parseNum(args[0])
+		if err != nil {
+			return err
+		}
+		b.Space(int(v))
+		return nil
+	}
+
+	// Pseudo-instructions.
+	switch mnemonic {
+	case "nop":
+		b.Nop()
+		return nil
+	case "ret":
+		b.Ret()
+		return nil
+	case "mv":
+		rd, err1 := reg(idx(args, 0))
+		rs, err2 := reg(idx(args, 1))
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		b.Mv(rd, rs)
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fmt.Errorf("li wants rd, value")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := parseNum(args[1])
+		if err != nil {
+			// Symbolic constants defined with .equ are allowed here.
+			if ev, ok := b.EquValue(args[1]); ok {
+				b.Li(rd, ev)
+				return nil
+			}
+			return err
+		}
+		b.Li(rd, uint64(v))
+		return nil
+	case "la":
+		if len(args) != 2 {
+			return fmt.Errorf("la wants rd, label")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		b.La(rd, args[1])
+		return nil
+	case "j":
+		if len(args) != 1 {
+			return fmt.Errorf("j wants label")
+		}
+		b.J(args[0])
+		return nil
+	case "call":
+		if len(args) != 1 {
+			return fmt.Errorf("call wants label")
+		}
+		b.Call(args[0])
+		return nil
+	case "csrr":
+		if len(args) != 2 {
+			return fmt.Errorf("csrr wants rd, csr")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		c, err := csr(args[1])
+		if err != nil {
+			return err
+		}
+		b.Csrr(rd, c)
+		return nil
+	case "csrw":
+		if len(args) != 2 {
+			return fmt.Errorf("csrw wants csr, rs")
+		}
+		c, err := csr(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Csrw(c, rs)
+		return nil
+	case "halt":
+		code := int64(0)
+		if len(args) == 1 {
+			v, err := parseNum(args[0])
+			if err != nil {
+				return err
+			}
+			code = v
+		}
+		b.Halt(uint16(code))
+		return nil
+	case "sfence.vma":
+		var r1, r2 uint8
+		var err error
+		if len(args) >= 1 {
+			if r1, err = reg(args[0]); err != nil {
+				return err
+			}
+		}
+		if len(args) >= 2 {
+			if r2, err = reg(args[1]); err != nil {
+				return err
+			}
+		}
+		b.SfenceVMA(r1, r2)
+		return nil
+	}
+
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	switch isa.FormatOf(op) {
+	case isa.FmtR:
+		rd, err1 := reg(idx(args, 0))
+		rs1, err2 := reg(idx(args, 1))
+		rs2, err3 := reg(idx(args, 2))
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		b.R(op, rd, rs1, rs2)
+	case isa.FmtI:
+		switch op {
+		case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLWU, isa.OpLD, isa.OpJALR:
+			rd, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			off, base, err := memOperand(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			b.I(op, rd, base, off)
+		case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC:
+			rd, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			c, err := csr(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			rs, err := reg(idx(args, 2))
+			if err != nil {
+				return err
+			}
+			b.Inst(isa.Inst{Op: op, Rd: rd, Rs1: rs, Imm: int32(c)})
+		case isa.OpLUI:
+			rd, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			v, err := parseNum(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			b.I(op, rd, 0, v)
+		default:
+			rd, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			rs1, err := reg(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			v, err := parseNum(idx(args, 2))
+			if err != nil {
+				return err
+			}
+			b.I(op, rd, rs1, v)
+		}
+	case isa.FmtB:
+		switch op {
+		case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+			src, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			off, base, err := memOperand(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			b.Store(op, src, base, off)
+		default:
+			rs1, err := reg(idx(args, 0))
+			if err != nil {
+				return err
+			}
+			rs2, err := reg(idx(args, 1))
+			if err != nil {
+				return err
+			}
+			if len(args) < 3 {
+				return fmt.Errorf("%s wants a target label", op)
+			}
+			b.Branch(op, rs1, rs2, args[2])
+		}
+	case isa.FmtJ:
+		rd, err := reg(idx(args, 0))
+		if err != nil {
+			return err
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("jal wants rd, label")
+		}
+		b.Jal(rd, args[1])
+	case isa.FmtSys:
+		switch op {
+		case isa.OpECALL:
+			b.Ecall()
+		case isa.OpEBREAK:
+			b.Ebreak()
+		case isa.OpSRET:
+			b.Sret()
+		case isa.OpWFI:
+			b.Wfi()
+		case isa.OpFENCE:
+			b.Inst(isa.Inst{Op: isa.OpFENCE})
+		case isa.OpHALT:
+			b.Halt(0)
+		}
+	}
+	return nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func idx(args []string, i int) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return ""
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func reg(s string) (uint8, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return r, nil
+}
+
+func csr(s string) (uint16, error) {
+	if c, ok := isa.CSRByName(s); ok {
+		return c, nil
+	}
+	if v, err := parseNum(s); err == nil && v >= 0 && v < 1<<12 {
+		return uint16(v), nil
+	}
+	return 0, fmt.Errorf("bad CSR %q", s)
+}
+
+// memOperand parses "off(reg)" or "(reg)".
+func memOperand(s string) (off int64, base uint8, err error) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	if i > 0 {
+		off, err = parseNum(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	base, err = reg(s[i+1 : len(s)-1])
+	return off, base, err
+}
+
+func parseNum(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+var opTable = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func opByName(name string) (isa.Op, bool) {
+	op, ok := opTable[name]
+	return op, ok
+}

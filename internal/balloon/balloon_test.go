@@ -1,0 +1,120 @@
+package balloon
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/virtio"
+)
+
+func space(t *testing.T, pool *mem.Pool, pages uint64) *mem.GuestPhys {
+	t.Helper()
+	g := mem.NewGuestPhys(pool, pages*isa.PageSize)
+	if err := g.PopulateAll(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPolicyNoPressureNoTargets(t *testing.T) {
+	pool := mem.NewPool(256)
+	g := space(t, pool, 64)
+	p := DefaultPolicy()
+	targets := p.Compute(pool, []*mem.GuestPhys{g})
+	if targets[0].Pages != 0 {
+		t.Fatalf("target = %d with a roomy pool", targets[0].Pages)
+	}
+}
+
+func TestPolicyProportionalReclaim(t *testing.T) {
+	pool := mem.NewPool(200)
+	big := space(t, pool, 128)
+	small := space(t, pool, 64)
+	// Pool: 192 in use of 200 → free 8 < reserve 16.
+	p := DefaultPolicy()
+	targets := p.Compute(pool, []*mem.GuestPhys{big, small})
+	if targets[0].Pages == 0 {
+		t.Fatal("big VM should be asked to balloon")
+	}
+	// Proportional to resident-above-floor: big (96 above) vs small (32).
+	if targets[0].Pages <= targets[1].Pages {
+		t.Fatalf("targets big=%d small=%d", targets[0].Pages, targets[1].Pages)
+	}
+}
+
+func TestPolicyRespectsFloor(t *testing.T) {
+	pool := mem.NewPool(40)
+	g := space(t, pool, 40) // pool fully consumed
+	p := Policy{ReserveFrames: 64, FloorPages: 32}
+	targets := p.Compute(pool, []*mem.GuestPhys{g})
+	// Only 8 pages sit above the floor; the target must not exceed that.
+	if targets[0].Pages > 8 {
+		t.Fatalf("target %d exceeds reclaimable", targets[0].Pages)
+	}
+}
+
+func TestControllerRebalancePushesTargets(t *testing.T) {
+	pool := mem.NewPool(80)
+	g := space(t, pool, 72)
+	bal := virtio.NewBalloon(nopOps{})
+	ctl := &Controller{
+		Policy: DefaultPolicy(), Pool: pool,
+		Balloons: []*virtio.Balloon{bal},
+		Spaces:   []*mem.GuestPhys{g},
+	}
+	ctl.Rebalance()
+	if bal.Target() == 0 {
+		t.Fatal("no target pushed under pressure")
+	}
+	if ctl.Adjustments != 1 {
+		t.Fatalf("adjustments = %d", ctl.Adjustments)
+	}
+	// Unchanged target ⇒ no duplicate adjustment.
+	ctl.Rebalance()
+	if ctl.Adjustments != 1 {
+		t.Fatalf("adjustments after stable rebalance = %d", ctl.Adjustments)
+	}
+}
+
+type nopOps struct{}
+
+func (nopOps) ReclaimPage(uint64) {}
+func (nopOps) ReturnPage(uint64)  {}
+
+func TestReclaimOnePrefersClean(t *testing.T) {
+	pool := mem.NewPool(64)
+	g := space(t, pool, 16)
+	// Dirty the high pages; leave page 3 clean.
+	for gfn := uint64(4); gfn < 16; gfn++ {
+		g.WriteUint(gfn*isa.PageSize, 8, 1)
+	}
+	ctl := &Controller{Policy: DefaultPolicy(), Pool: pool, Spaces: []*mem.GuestPhys{g}}
+	if !ctl.ReclaimOne() {
+		t.Fatal("nothing reclaimed")
+	}
+	// A clean page must have been chosen (one of 0..3).
+	clean := 0
+	for gfn := uint64(0); gfn < 4; gfn++ {
+		if g.Frame(gfn) != mem.NoFrame {
+			clean++
+		}
+	}
+	if clean == 4 {
+		t.Fatal("reclaimed a dirty page despite clean candidates")
+	}
+}
+
+func TestReclaimOneSkipsProtectedAndEmpty(t *testing.T) {
+	pool := mem.NewPool(64)
+	g := mem.NewGuestPhys(pool, 4*isa.PageSize)
+	ctl := &Controller{Spaces: []*mem.GuestPhys{g}}
+	if ctl.ReclaimOne() {
+		t.Fatal("reclaimed from an empty space")
+	}
+	g.Populate(1)
+	g.WriteProtect(1, true)
+	if ctl.ReclaimOne() {
+		t.Fatal("reclaimed a write-protected page")
+	}
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"govisor/internal/core"
+	"govisor/internal/guest"
+	"govisor/internal/metrics"
+	"govisor/internal/storage"
+	"govisor/internal/vnet"
+)
+
+// T6IOPath: emulated vs paravirtual device paths — cycles and exits per
+// operation for disk sectors and network frames.
+func T6IOPath() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{
+		"path", "ops", "cycles/op", "exits/op", "speedup",
+	}}
+	const (
+		sectors  = 128
+		frames   = 128
+		frameLen = 256
+	)
+
+	type result struct {
+		name   string
+		cycles float64
+		exits  float64
+	}
+	var results []result
+
+	// Disk: PIO baseline.
+	prog, err := guest.BuildPIODiskProgram(sectors, true)
+	if err != nil {
+		return nil, err
+	}
+	vm, err := runProgram(core.ModeHW, prog, func(vm *core.VM) error {
+		_, err := vm.AttachPIODisk(storage.NewRaw(8192))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, result{"disk: programmed-I/O",
+		float64(region(vm)) / sectors, float64(vm.Stats.MMIOExits) / sectors})
+
+	// Disk: virtio at two batch depths.
+	for _, batch := range []uint64{1, 16} {
+		prog, err := guest.BuildVirtioBlkProgram(sectors, batch, 0)
+		if err != nil {
+			return nil, err
+		}
+		vm, err := runProgram(core.ModeHW, prog, func(vm *core.VM) error {
+			_, _, err := vm.AttachVirtioBlk(storage.NewRaw(8192))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, result{fmt.Sprintf("disk: virtio (batch %d)", batch),
+			float64(region(vm)) / sectors, float64(vm.Stats.MMIOExits) / sectors})
+	}
+
+	// Net: register NIC baseline.
+	prog, err = guest.BuildRegNICProgram(frames, frameLen)
+	if err != nil {
+		return nil, err
+	}
+	vm, err = runProgram(core.ModeHW, prog, func(vm *core.VM) error {
+		sw := vnet.NewSwitch()
+		_, err := vm.AttachRegNIC(sw.NewPort())
+		sw.NewPort()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, result{"net: register NIC",
+		float64(region(vm)) / frames, float64(vm.Stats.MMIOExits) / frames})
+
+	// Net: virtio.
+	prog, err = guest.BuildVirtioNetProgram(frames, 16, frameLen, 0)
+	if err != nil {
+		return nil, err
+	}
+	vm, err = runProgram(core.ModeHW, prog, func(vm *core.VM) error {
+		sw := vnet.NewSwitch()
+		_, _, err := vm.AttachVirtioNet(sw.NewPort())
+		sw.NewPort()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, result{"net: virtio (batch 16)",
+		float64(region(vm)) / frames, float64(vm.Stats.MMIOExits) / frames})
+
+	diskBase, netBase := results[0].cycles, results[3].cycles
+	for i, r := range results {
+		base := diskBase
+		ops := sectors
+		if i >= 3 {
+			base = netBase
+			ops = frames
+		}
+		t.AddRow(r.name, fmt.Sprint(ops),
+			fmt.Sprintf("%.0f", r.cycles), fmt.Sprintf("%.1f", r.exits),
+			fmt.Sprintf("%.1fx", base/r.cycles))
+	}
+	return t, nil
+}
+
+// A4QueueDepth: virtio-blk cycles/op vs batch depth (ablation).
+func A4QueueDepth() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{"batch depth", "cycles/sector", "kicks", "exits/sector"}}
+	const sectors = 128
+	for _, batch := range []uint64{1, 2, 4, 8, 16, 32, 64, 128} {
+		prog, err := guest.BuildVirtioBlkProgram(sectors, batch, 0)
+		if err != nil {
+			return nil, err
+		}
+		var kicks uint64
+		vm, err := runProgram(core.ModeHW, prog, func(vm *core.VM) error {
+			_, mmio, err := vm.AttachVirtioBlk(storage.NewRaw(8192))
+			if err == nil {
+				defer func() { _ = mmio }()
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		kicks = uint64(sectors) / batch
+		t.AddRow(fmt.Sprint(batch),
+			fmt.Sprintf("%.0f", float64(region(vm))/sectors),
+			fmt.Sprint(kicks),
+			fmt.Sprintf("%.2f", float64(vm.Stats.MMIOExits)/sectors))
+	}
+	return t, nil
+}

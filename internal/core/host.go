@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"govisor/internal/mem"
+)
+
+// Scheduler is the vCPU scheduling policy a Host consults. Implementations
+// live in internal/sched (round-robin, Xen-style credit, CFS-like fair);
+// the interface is defined here so core does not depend on any policy.
+type Scheduler interface {
+	// Add registers a runnable entity with a proportional weight and an
+	// optional utilization cap in percent (0 = uncapped).
+	Add(id int, weight uint64, capPct uint64)
+	// Remove deregisters an entity.
+	Remove(id int)
+	// Next picks the entity to run and the quantum (in cycles) to grant.
+	// ok is false when nothing is runnable.
+	Next() (id int, quantum uint64, ok bool)
+	// Account reports the cycles the entity actually consumed.
+	Account(id int, used uint64)
+	// Block marks an entity not runnable (idle/halted); Unblock reverses.
+	Block(id int)
+	Unblock(id int)
+}
+
+// Host is one simulated physical machine: a frame pool shared by its VMs, a
+// vCPU scheduler multiplexing them over PCPUs simulated cores, and a global
+// host clock.
+type Host struct {
+	Pool  *mem.Pool
+	VMs   []*VM
+	Sched Scheduler
+	// PCPUs is the number of physical cores the host time model assumes:
+	// with N VMs and C cores, aggregate guest progress per host cycle is
+	// min(N, C).
+	PCPUs int
+
+	// Now is the host clock in cycles.
+	Now uint64
+
+	// Quantum is the default scheduling quantum when the scheduler does not
+	// dictate one.
+	Quantum uint64
+
+	wakeAt     map[int]uint64 // host time at which each idle VM's timer fires
+	runnableAt map[int]uint64 // host time a woken VM joined the runqueue
+}
+
+// DefaultQuantum is 1 ms of guest time at the nominal clock.
+const DefaultQuantum = 1_000_000
+
+// NewHost creates a host with the given memory budget in frames.
+func NewHost(poolFrames uint64, pcpus int, sched Scheduler) *Host {
+	if pcpus <= 0 {
+		pcpus = 1
+	}
+	return &Host{
+		Pool:    mem.NewPool(poolFrames),
+		Sched:   sched,
+		PCPUs:   pcpus,
+		Quantum: DefaultQuantum,
+	}
+}
+
+// CreateVM creates and registers a VM on this host.
+func (h *Host) CreateVM(cfg Config) (*VM, error) {
+	vm, err := NewVM(h.Pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+	h.VMs = append(h.VMs, vm)
+	return vm, nil
+}
+
+// AddToScheduler registers VM index i with the scheduler.
+func (h *Host) AddToScheduler(i int, weight, capPct uint64) {
+	h.Sched.Add(i, weight, capPct)
+}
+
+// Run multiplexes the host's VMs under the scheduler until every VM has
+// halted (or errored), or until the host clock reaches limit. It returns
+// the host cycles elapsed.
+//
+// The time model is a single dispatch trace: the host advances its clock by
+// (consumed quantum ÷ effective parallelism), where effective parallelism is
+// min(runnable VMs, PCPUs). This keeps multi-VM experiments deterministic —
+// no goroutine interleaving — while preserving the contention behaviour the
+// scheduling and consolidation experiments measure.
+//
+// Idle VMs are tickless: a WFI guest's clock keeps tracking wall (host)
+// time, so when its timer fires the guest observes both the sleep and any
+// scheduling delay before it was redispatched — which is exactly what the
+// wakeup-latency experiment (F11) measures.
+func (h *Host) Run(limit uint64) uint64 {
+	if h.Sched == nil {
+		panic("core: host has no scheduler")
+	}
+	if h.wakeAt == nil {
+		h.wakeAt = make(map[int]uint64)
+		h.runnableAt = make(map[int]uint64)
+	}
+	start := h.Now
+	for h.Now-start < limit {
+		// Wake idle VMs whose timers have fired on the host clock.
+		runnable := 0
+		for i, vm := range h.VMs {
+			if vm.State == StateIdle {
+				cmp := vm.CPU.CSR.Stimecmp
+				if _, tracked := h.wakeAt[i]; !tracked && cmp != 0 {
+					// The guest sleeps until its deadline, in wall time.
+					sleep := uint64(0)
+					if cmp > vm.CPU.Cycles {
+						sleep = cmp - vm.CPU.Cycles
+					}
+					h.wakeAt[i] = h.Now + sleep
+				}
+				if at, tracked := h.wakeAt[i]; tracked && h.Now >= at {
+					// Wall time passed while asleep (plus any lateness).
+					late := h.Now - at
+					if cmp > vm.CPU.Cycles {
+						vm.CPU.Cycles = cmp
+					}
+					vm.CPU.Cycles += late
+					delete(h.wakeAt, i)
+					vm.State = StateRunning
+					h.Sched.Unblock(i)
+					// From here until dispatch the VM sits on the runqueue;
+					// that wait is wall time its clock must absorb, so the
+					// guest's own latency measurement sees scheduling delay.
+					h.runnableAt[i] = h.Now
+				}
+			} else {
+				delete(h.wakeAt, i)
+			}
+			if vm.State == StateRunning {
+				runnable++
+			}
+		}
+		if runnable == 0 {
+			// Advance to the next pending wake; nothing else can happen.
+			next := uint64(0)
+			for _, at := range h.wakeAt {
+				if next == 0 || at < next {
+					next = at
+				}
+			}
+			if next == 0 {
+				return h.Now - start
+			}
+			if next > h.Now {
+				h.Now = next
+			} else {
+				h.Now++
+			}
+			continue
+		}
+
+		id, quantum, ok := h.Sched.Next()
+		if !ok {
+			h.Now += h.Quantum // all entities capped/throttled: host idles
+			continue
+		}
+		if quantum == 0 {
+			quantum = h.Quantum
+		}
+		par := runnable
+		if par > h.PCPUs {
+			par = h.PCPUs
+		}
+		if par < 1 {
+			par = 1
+		}
+		// Host timer preemption: never run a quantum past the next pending
+		// timer wake, so wakeups are observed promptly.
+		for _, at := range h.wakeAt {
+			if at > h.Now {
+				if room := (at - h.Now) * uint64(par); room < quantum {
+					quantum = room
+				}
+			} else {
+				quantum = 1
+			}
+		}
+		if quantum == 0 {
+			quantum = 1
+		}
+		vm := h.VMs[id]
+		if vm.State != StateRunning {
+			h.Sched.Block(id)
+			continue
+		}
+		if rs, waited := h.runnableAt[id]; waited {
+			if h.Now > rs {
+				vm.CPU.AddCycles(h.Now - rs)
+			}
+			delete(h.runnableAt, id)
+		}
+		used := vm.Step(quantum)
+		h.Sched.Account(id, used)
+		if vm.State != StateRunning {
+			h.Sched.Block(id)
+		}
+		h.Now += used / uint64(par)
+		if used == 0 {
+			h.Now++ // ensure forward progress
+		}
+	}
+	return h.Now - start
+}
+
+// AllHalted reports whether every VM reached a terminal state.
+func (h *Host) AllHalted() bool {
+	for _, vm := range h.VMs {
+		if vm.State != StateHalted && vm.State != StateError {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the host.
+func (h *Host) String() string {
+	return fmt.Sprintf("host{vms=%d, pool=%d/%d frames, now=%d}",
+		len(h.VMs), h.Pool.InUse(), h.Pool.Capacity(), h.Now)
+}

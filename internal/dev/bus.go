@@ -1,0 +1,185 @@
+// Package dev implements the device side of the simulated machine: the MMIO
+// bus, a claim/complete interrupt controller, a UART console, and the
+// fully-emulated baseline devices (a programmed-I/O disk and a register-
+// banged NIC) that the virtio paravirtual devices are compared against in
+// experiment T6.
+package dev
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Physical memory map of the machine. Guest RAM occupies [0, ramSize); all
+// device windows live at or above MMIOBase so they can never collide with
+// RAM.
+const (
+	MMIOBase = 0x4000_0000
+
+	UARTBase = MMIOBase + 0x0000
+	UARTSize = 0x100
+
+	IntCtlBase = MMIOBase + 0x1000
+	IntCtlSize = 0x100
+
+	PIODiskBase = MMIOBase + 0x2000
+	PIODiskSize = 0x100
+
+	RegNICBase = MMIOBase + 0x3000
+	RegNICSize = 0x100
+
+	// VirtioBase is the first of up to 8 virtio-mmio slots, one page each.
+	VirtioBase   = MMIOBase + 0x10000
+	VirtioStride = 0x1000
+	VirtioSlots  = 8
+)
+
+// Interrupt line assignments.
+const (
+	IRQUart    = 1
+	IRQPIODisk = 2
+	IRQRegNIC  = 3
+	IRQVirtio0 = 8 // virtio slot n uses IRQVirtio0+n
+)
+
+// Device is a memory-mapped peripheral. Offsets are relative to the
+// device's window base. Reads/writes are at most 8 bytes and naturally
+// aligned (the CPU enforces alignment before the access reaches the bus).
+type Device interface {
+	Name() string
+	MMIORead(off uint64, size int) uint64
+	MMIOWrite(off uint64, size int, v uint64)
+}
+
+type mapping struct {
+	base, size uint64
+	dev        Device
+}
+
+// Bus routes guest-physical accesses in the MMIO window to devices.
+type Bus struct {
+	maps []mapping // sorted by base
+
+	// Stats for the I/O-path experiments.
+	Reads, Writes uint64
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Attach maps dev at [base, base+size). Overlapping windows are an error.
+func (b *Bus) Attach(base, size uint64, dev Device) error {
+	if base < MMIOBase {
+		return fmt.Errorf("dev: window %#x below MMIO base", base)
+	}
+	for _, m := range b.maps {
+		if base < m.base+m.size && m.base < base+size {
+			return fmt.Errorf("dev: window %#x+%#x overlaps %s", base, size, m.dev.Name())
+		}
+	}
+	b.maps = append(b.maps, mapping{base, size, dev})
+	sort.Slice(b.maps, func(i, j int) bool { return b.maps[i].base < b.maps[j].base })
+	return nil
+}
+
+func (b *Bus) find(gpa uint64) *mapping {
+	lo, hi := 0, len(b.maps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		m := &b.maps[mid]
+		switch {
+		case gpa < m.base:
+			hi = mid
+		case gpa >= m.base+m.size:
+			lo = mid + 1
+		default:
+			return m
+		}
+	}
+	return nil
+}
+
+// IsMMIO reports whether gpa belongs to an attached device window.
+func (b *Bus) IsMMIO(gpa uint64) bool { return b.find(gpa) != nil }
+
+// Read dispatches a device load. Unmapped addresses read as zero (the bus
+// floats), which matches how probing absent devices behaves.
+func (b *Bus) Read(gpa uint64, size int) uint64 {
+	b.Reads++
+	if m := b.find(gpa); m != nil {
+		return m.dev.MMIORead(gpa-m.base, size)
+	}
+	return 0
+}
+
+// Write dispatches a device store; writes to unmapped space are dropped.
+func (b *Bus) Write(gpa uint64, size int, v uint64) {
+	b.Writes++
+	if m := b.find(gpa); m != nil {
+		m.dev.MMIOWrite(gpa-m.base, size, v)
+	}
+}
+
+// IntController is the machine's external-interrupt controller: a bitmap of
+// pending lines with a claim/complete protocol, akin to a minimal PLIC.
+// When any line is pending it asserts the CPU's external-interrupt pin via
+// the SetPin callback.
+type IntController struct {
+	pending uint64
+	SetPin  func(asserted bool) // wired to the vCPU's SEIP bit
+
+	Raised, Claims uint64 // stats
+}
+
+// Interrupt-controller register offsets.
+const (
+	IntCtlClaim   = 0x0 // read: highest pending line (0 if none), clears it
+	IntCtlPending = 0x8 // read: raw pending bitmap
+)
+
+// NewIntController creates a controller; callers wire SetPin.
+func NewIntController() *IntController { return &IntController{} }
+
+// Name implements Device.
+func (ic *IntController) Name() string { return "intctl" }
+
+// Raise marks line pending and asserts the CPU pin.
+func (ic *IntController) Raise(line uint) {
+	ic.pending |= 1 << line
+	ic.Raised++
+	if ic.SetPin != nil {
+		ic.SetPin(true)
+	}
+}
+
+// Pending reports whether the line is pending.
+func (ic *IntController) Pending(line uint) bool { return ic.pending&(1<<line) != 0 }
+
+// MMIORead implements the claim/complete protocol.
+func (ic *IntController) MMIORead(off uint64, size int) uint64 {
+	switch off {
+	case IntCtlClaim:
+		if ic.pending == 0 {
+			return 0
+		}
+		// Lowest-numbered pending line wins (lower line = higher priority).
+		var line uint
+		for line = 0; line < 64; line++ {
+			if ic.pending&(1<<line) != 0 {
+				break
+			}
+		}
+		ic.pending &^= 1 << line
+		ic.Claims++
+		if ic.pending == 0 && ic.SetPin != nil {
+			ic.SetPin(false)
+		}
+		return uint64(line)
+	case IntCtlPending:
+		return ic.pending
+	}
+	return 0
+}
+
+// MMIOWrite is a no-op (claim-by-read protocol).
+func (ic *IntController) MMIOWrite(off uint64, size int, v uint64) {}

@@ -1,0 +1,213 @@
+package dev
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"govisor/internal/storage"
+)
+
+func TestBusAttachAndDispatch(t *testing.T) {
+	b := NewBus()
+	u := NewUART(nil)
+	if err := b.Attach(UARTBase, UARTSize, u); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsMMIO(UARTBase) || !b.IsMMIO(UARTBase+UARTSize-1) {
+		t.Fatal("IsMMIO window")
+	}
+	if b.IsMMIO(UARTBase + UARTSize) {
+		t.Fatal("IsMMIO beyond window")
+	}
+	if b.IsMMIO(0x1000) {
+		t.Fatal("RAM address is not MMIO")
+	}
+	b.Write(UARTBase+UARTTx, 1, 'h')
+	b.Write(UARTBase+UARTTx, 1, 'i')
+	if u.Output() != "hi" {
+		t.Fatalf("output = %q", u.Output())
+	}
+	// Unmapped reads float to zero, writes are dropped.
+	if v := b.Read(MMIOBase+0x9000000, 8); v != 0 {
+		t.Fatalf("floating read = %d", v)
+	}
+	b.Write(MMIOBase+0x9000000, 8, 1)
+}
+
+func TestBusRejectsOverlap(t *testing.T) {
+	b := NewBus()
+	u := NewUART(nil)
+	if err := b.Attach(UARTBase, 0x100, u); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Attach(UARTBase+0x80, 0x100, u); err == nil {
+		t.Fatal("expected overlap error")
+	}
+	if err := b.Attach(0x1000, 0x100, u); err == nil {
+		t.Fatal("expected below-MMIO error")
+	}
+}
+
+func TestIntControllerClaimComplete(t *testing.T) {
+	ic := NewIntController()
+	var pin bool
+	ic.SetPin = func(a bool) { pin = a }
+	ic.Raise(IRQPIODisk)
+	ic.Raise(IRQUart)
+	if !pin {
+		t.Fatal("pin should assert")
+	}
+	// Lowest line has priority: UART (1) before disk (2).
+	if got := ic.MMIORead(IntCtlClaim, 8); got != IRQUart {
+		t.Fatalf("first claim = %d", got)
+	}
+	if !pin {
+		t.Fatal("pin should stay asserted while disk pending")
+	}
+	if got := ic.MMIORead(IntCtlClaim, 8); got != IRQPIODisk {
+		t.Fatalf("second claim = %d", got)
+	}
+	if pin {
+		t.Fatal("pin should deassert when drained")
+	}
+	if got := ic.MMIORead(IntCtlClaim, 8); got != 0 {
+		t.Fatalf("empty claim = %d", got)
+	}
+}
+
+func TestUARTRxPath(t *testing.T) {
+	ic := NewIntController()
+	u := NewUART(ic)
+	u.Feed([]byte("ok"))
+	if !ic.Pending(IRQUart) {
+		t.Fatal("feed should raise IRQ")
+	}
+	if u.MMIORead(UARTStatus, 8) != 1 {
+		t.Fatal("status should show data")
+	}
+	if b := u.MMIORead(UARTRx, 8); b != 'o' {
+		t.Fatalf("rx = %c", b)
+	}
+	if b := u.MMIORead(UARTRx, 8); b != 'k' {
+		t.Fatalf("rx = %c", b)
+	}
+	if u.MMIORead(UARTStatus, 8) != 0 {
+		t.Fatal("status should be empty")
+	}
+}
+
+// writeSectorPIO drives the register protocol like guest code would.
+func writeSectorPIO(d *PIODisk, lba uint64, data []byte) {
+	d.MMIOWrite(PIODiskSector, 8, lba)
+	d.MMIOWrite(PIODiskCmd, 8, PIODiskCmdRewind)
+	for off := 0; off < SectorSize; off += 8 {
+		d.MMIOWrite(PIODiskData, 8, binary.LittleEndian.Uint64(data[off:]))
+	}
+	d.MMIOWrite(PIODiskCmd, 8, PIODiskCmdWrite)
+}
+
+func readSectorPIO(d *PIODisk, lba uint64) []byte {
+	d.MMIOWrite(PIODiskSector, 8, lba)
+	d.MMIOWrite(PIODiskCmd, 8, PIODiskCmdRead)
+	out := make([]byte, SectorSize)
+	for off := 0; off < SectorSize; off += 8 {
+		binary.LittleEndian.PutUint64(out[off:], d.MMIORead(PIODiskData, 8))
+	}
+	return out
+}
+
+func TestPIODiskReadWriteSector(t *testing.T) {
+	img := storage.NewRaw(64)
+	ic := NewIntController()
+	d := NewPIODisk(img, ic)
+
+	data := make([]byte, SectorSize)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	writeSectorPIO(d, 5, data)
+	if d.MMIORead(PIODiskStatus, 8)&PIODiskError != 0 {
+		t.Fatal("write errored")
+	}
+	if !ic.Pending(IRQPIODisk) {
+		t.Fatal("completion IRQ missing")
+	}
+	got := readSectorPIO(d, 5)
+	if !bytes.Equal(got, data) {
+		t.Fatal("sector mismatch")
+	}
+	if d.SectorsRead != 1 || d.SectorsWritten != 1 {
+		t.Fatalf("stats = %d/%d", d.SectorsRead, d.SectorsWritten)
+	}
+	if d.MMIORead(PIODiskCount, 8) != 64 {
+		t.Fatal("count register")
+	}
+}
+
+func TestPIODiskErrorOnBadLBA(t *testing.T) {
+	d := NewPIODisk(storage.NewRaw(4), nil)
+	d.MMIOWrite(PIODiskSector, 8, 99)
+	d.MMIOWrite(PIODiskCmd, 8, PIODiskCmdRead)
+	if d.MMIORead(PIODiskStatus, 8)&PIODiskError == 0 {
+		t.Fatal("expected error status")
+	}
+}
+
+type loopback struct{ rx func([]byte) }
+
+func (l *loopback) Send(frame []byte)           { l.rx(frame) }
+func (l *loopback) SetReceiver(fn func([]byte)) { l.rx = fn }
+
+func TestRegNICLoopback(t *testing.T) {
+	lb := &loopback{}
+	ic := NewIntController()
+	n := NewRegNIC(lb, ic)
+
+	frame := make([]byte, 60)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	// Transmit via register banging; loopback feeds it straight back.
+	n.MMIOWrite(RegNICTxLen, 8, uint64(len(frame)))
+	for off := 0; off < len(frame); off += 8 {
+		var chunk [8]byte
+		copy(chunk[:], frame[off:])
+		n.MMIOWrite(RegNICTxData, 8, binary.LittleEndian.Uint64(chunk[:]))
+	}
+	n.MMIOWrite(RegNICTxSend, 8, 1)
+
+	if !ic.Pending(IRQRegNIC) {
+		t.Fatal("rx IRQ missing")
+	}
+	if n.MMIORead(RegNICStatus, 8) != 1 {
+		t.Fatal("rx status")
+	}
+	ln := n.MMIORead(RegNICRxLen, 8)
+	if ln != uint64(len(frame)) {
+		t.Fatalf("rx len = %d", ln)
+	}
+	got := make([]byte, ln)
+	for off := uint64(0); off < ln; off += 8 {
+		var chunk [8]byte
+		binary.LittleEndian.PutUint64(chunk[:], n.MMIORead(RegNICRxData, 8))
+		copy(got[off:], chunk[:])
+	}
+	n.MMIOWrite(RegNICRxDone, 8, 1)
+	if !bytes.Equal(got, frame) {
+		t.Fatal("frame mismatch")
+	}
+	if n.TxFrames != 1 || n.RxFrames != 1 {
+		t.Fatalf("stats = %d/%d", n.TxFrames, n.RxFrames)
+	}
+}
+
+func TestRegNICQueueOverflowDrops(t *testing.T) {
+	n := NewRegNIC(nil, nil)
+	for i := 0; i < rxQueueDepth+10; i++ {
+		n.receive(make([]byte, 14))
+	}
+	if n.RxDropped != 10 {
+		t.Fatalf("dropped = %d", n.RxDropped)
+	}
+}

@@ -1,0 +1,132 @@
+package dev
+
+import "encoding/binary"
+
+// SectorSize is the disk sector size used throughout govisor.
+const SectorSize = 512
+
+// BlockBackend is the storage a block device sits on; implemented by
+// internal/storage images.
+type BlockBackend interface {
+	ReadSector(lba uint64, buf []byte) error
+	WriteSector(lba uint64, buf []byte) error
+	Sectors() uint64
+}
+
+// PIODisk is the fully-emulated baseline block device: the guest programs a
+// sector number and command through registers and moves data 8 bytes at a
+// time through a data port. A 512-byte sector therefore costs 64 data-port
+// exits plus the command exits — exactly the behaviour that motivated
+// paravirtual I/O, reproduced for experiment T6.
+type PIODisk struct {
+	backend BlockBackend
+	ic      *IntController
+
+	sector uint64
+	buf    [SectorSize]byte
+	bufPos uint64
+	status uint64
+	errors uint64
+
+	// Stats.
+	SectorsRead, SectorsWritten uint64
+}
+
+// PIODisk register offsets.
+const (
+	PIODiskSector = 0x00 // write: target LBA
+	PIODiskCmd    = 0x08 // write: 1 = read sector, 2 = write sector, 3 = reset data pointer
+	PIODiskStatus = 0x10 // read: bit0 ready, bit1 error
+	PIODiskData   = 0x18 // read/write: 8 bytes of the sector buffer, auto-increment
+	PIODiskCount  = 0x20 // read: total sectors on the medium
+)
+
+// PIODisk commands.
+const (
+	PIODiskCmdRead   = 1
+	PIODiskCmdWrite  = 2
+	PIODiskCmdRewind = 3
+)
+
+// Status bits.
+const (
+	PIODiskReady = 1 << 0
+	PIODiskError = 1 << 1
+)
+
+// NewPIODisk creates the device over a backend; ic may be nil for polling.
+func NewPIODisk(backend BlockBackend, ic *IntController) *PIODisk {
+	return &PIODisk{backend: backend, ic: ic, status: PIODiskReady}
+}
+
+// Name implements Device.
+func (d *PIODisk) Name() string { return "pio-disk" }
+
+// MMIOWrite implements Device.
+func (d *PIODisk) MMIOWrite(off uint64, size int, v uint64) {
+	switch off {
+	case PIODiskSector:
+		d.sector = v
+	case PIODiskCmd:
+		d.command(v)
+	case PIODiskData:
+		if d.bufPos+8 <= SectorSize {
+			binary.LittleEndian.PutUint64(d.buf[d.bufPos:], v)
+			d.bufPos += 8
+		}
+	}
+}
+
+// MMIORead implements Device.
+func (d *PIODisk) MMIORead(off uint64, size int) uint64 {
+	switch off {
+	case PIODiskStatus:
+		return d.status
+	case PIODiskData:
+		if d.bufPos+8 <= SectorSize {
+			v := binary.LittleEndian.Uint64(d.buf[d.bufPos:])
+			d.bufPos += 8
+			return v
+		}
+		return 0
+	case PIODiskCount:
+		return d.backend.Sectors()
+	case PIODiskSector:
+		return d.sector
+	}
+	return 0
+}
+
+func (d *PIODisk) command(cmd uint64) {
+	switch cmd {
+	case PIODiskCmdRead:
+		if err := d.backend.ReadSector(d.sector, d.buf[:]); err != nil {
+			d.fail()
+			return
+		}
+		d.SectorsRead++
+		d.complete()
+	case PIODiskCmdWrite:
+		if err := d.backend.WriteSector(d.sector, d.buf[:]); err != nil {
+			d.fail()
+			return
+		}
+		d.SectorsWritten++
+		d.complete()
+	case PIODiskCmdRewind:
+		d.bufPos = 0
+	}
+}
+
+func (d *PIODisk) complete() {
+	d.bufPos = 0
+	d.status = PIODiskReady
+	if d.ic != nil {
+		d.ic.Raise(IRQPIODisk)
+	}
+}
+
+func (d *PIODisk) fail() {
+	d.errors++
+	d.status = PIODiskReady | PIODiskError
+}

@@ -1,0 +1,77 @@
+// Package gabi pins down the guest↔VMM binary interface: the boot protocol,
+// the hypercall ABI, and the guest-physical layout conventions the generated
+// guest kernels rely on. Both the VMM (internal/core) and the guest code
+// generators (internal/guest) import it, so the two sides can never drift.
+package gabi
+
+// Guest-physical layout conventions.
+const (
+	// ParamBase is the guest-physical address of the boot parameter block
+	// (ParamSlots little-endian u64 values). The VMM passes it in a0.
+	ParamBase  = 0x0200
+	ParamSlots = 48
+
+	// KernelBase is where kernel images are loaded and entered.
+	KernelBase = 0x1000
+
+	// StackTop is the initial kernel stack pointer (grows down).
+	StackTop = 0xF000
+)
+
+// Well-known parameter slots (index into the u64 array at ParamBase).
+const (
+	PWorkload    = 0 // which workload the kernel runs (W* below)
+	PIterations  = 1 // outer iterations
+	PWorkingSet  = 2 // pages in the working set
+	PStride      = 3 // bytes between touches
+	PWriteFrac   = 4 // percent of touches that are writes (0..100)
+	PPrivDensity = 5 // privileged ops per 1000 instructions
+	PArg0        = 6 // workload-specific
+	PArg1        = 7
+	PArg2        = 8
+	PHeapBase    = 9  // first usable heap page (set by VMM)
+	PHeapPages   = 10 // heap size in pages
+	PSatp        = 11 // satp value for the pre-built identity tables
+	PChurnVA     = 12 // virtual base of the PT-churn window
+	PChurnPTE    = 13 // gpa of the level-0 PTE array covering the churn window
+	PChurnPages  = 14 // number of PTEs in the churn window
+	PResult0     = 16 // kernel writes results here before HALT
+	PResult1     = 17
+	PResult2     = 18
+	PResult3     = 19
+)
+
+// Workload identifiers for PWorkload.
+const (
+	WCompute  = 0 // pure ALU loop
+	WMemTouch = 1 // walk a working set with loads/stores
+	WPTChurn  = 2 // map/unmap loop (page-table churn)
+	WSyscall  = 3 // user/kernel syscall ping-pong
+	WCSR      = 4 // privileged CSR read/write loop
+	WDirty    = 5 // dirty pages at a controlled rate (migration driver)
+	WIdle     = 6 // arm timer and WFI loop
+)
+
+// Hypercall numbers (ECALL from virtual S-mode; number in a7, args in
+// a0..a5, result in a0). Under the native baseline the same ABI is the
+// "firmware" interface, so one kernel binary runs everywhere.
+const (
+	HCPutchar  = 0 // a0 = byte
+	HCYield    = 1
+	HCSetTimer = 2  // a0 = absolute cycle deadline (0 disarms)
+	HCMMUMap   = 3  // para: a0 = va, a1 = pa, a2 = PTE flag bits
+	HCMMUBatch = 4  // para: a0 = gpa of entries {va,pa,flags}×a1 (24 B each)
+	HCMMUUnmap = 5  // para: a0 = va
+	HCFlushTLB = 6  // a0 = va (0 ⇒ all)
+	HCGetTime  = 7  // → a0 = cycles
+	HCMarker   = 8  // a0 = marker id; VMM records (id, cycles)
+	HCPuts     = 9  // a0 = gpa of NUL-terminated string
+	HCExit     = 10 // a0 = code; stops the vCPU like HALT
+)
+
+// Hypercall error returns (negative values in a0).
+const (
+	HCOK     = 0
+	HCEInval = ^uint64(0)     // -1: bad arguments
+	HCENoSys = ^uint64(0) - 1 // -2: unknown hypercall
+)

@@ -1,0 +1,241 @@
+package guest
+
+import (
+	"testing"
+
+	"govisor/internal/core"
+	"govisor/internal/dev"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/storage"
+	"govisor/internal/vcpu"
+	"govisor/internal/vnet"
+)
+
+func ioVM(t *testing.T, mode core.Mode) *core.VM {
+	t.Helper()
+	pool := mem.NewPool(2 * testRAM >> isa.PageShift)
+	vm, err := core.NewVM(pool, core.Config{Name: "io", Mode: mode, MemBytes: testRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func runIO(t *testing.T, vm *core.VM, img []byte) {
+	t.Helper()
+	if err := vm.Boot(img); err != nil {
+		t.Fatal(err)
+	}
+	if st := vm.RunToHalt(runBudget); st != core.StateHalted {
+		t.Fatalf("state %v err %v pc %#x", st, vm.Err, vm.CPU.PC)
+	}
+	if vm.HaltCode != 0 {
+		t.Fatalf("halt code %#x", vm.HaltCode)
+	}
+}
+
+func TestGuestPIODiskWritesLand(t *testing.T) {
+	vm := ioVM(t, core.ModeHW)
+	img := storage.NewRaw(256)
+	disk, err := vm.AttachPIODisk(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildPIODiskProgram(16, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vm, prog)
+	if disk.SectorsWritten != 16 {
+		t.Fatalf("sectors written = %d", disk.SectorsWritten)
+	}
+	// The guest stores the sector number in every doubleword.
+	buf := make([]byte, storage.SectorSize)
+	img.ReadSector(5, buf)
+	if buf[0] != 5 {
+		t.Fatalf("sector 5 content = %d", buf[0])
+	}
+	// Each sector costs ~67 MMIO exits (64 data + sector + 2 cmd + status).
+	exits := vm.CPU.Stats.Exits[vcpu.ExitMMIO]
+	if exits < 16*66 {
+		t.Fatalf("mmio exits = %d, want ≥ %d", exits, 16*66)
+	}
+}
+
+func TestGuestPIODiskReadsBack(t *testing.T) {
+	vm := ioVM(t, core.ModeHW)
+	img := storage.NewRaw(256)
+	if _, err := vm.AttachPIODisk(img); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildPIODiskProgram(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vm, prog)
+}
+
+func TestGuestVirtioBlkBatching(t *testing.T) {
+	run := func(batch uint64) (*core.VM, uint64, uint64) {
+		vm := ioVM(t, core.ModeHW)
+		img := storage.NewRaw(4096)
+		blk, mmio, err := vm.AttachVirtioBlk(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := BuildVirtioBlkProgram(64, batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runIO(t, vm, prog)
+		if blk.SectorsWritten != 64 {
+			t.Fatalf("batch %d: sectors = %d (errors %d)", batch, blk.SectorsWritten, blk.Errors)
+		}
+		return vm, mmio.Notifies, vm.CPU.Stats.Exits[vcpu.ExitMMIO]
+	}
+	_, kicks1, exits1 := run(1)
+	_, kicks16, exits16 := run(16)
+	if kicks1 != 64 || kicks16 != 4 {
+		t.Fatalf("kicks: %d/%d", kicks1, kicks16)
+	}
+	if exits16 >= exits1 {
+		t.Fatalf("batching should cut exits: %d vs %d", exits16, exits1)
+	}
+}
+
+func TestGuestVirtioBlkDataIntegrity(t *testing.T) {
+	vm := ioVM(t, core.ModeHW)
+	img := storage.NewRaw(4096)
+	if _, _, err := vm.AttachVirtioBlk(img); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildVirtioBlkProgram(32, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vm, prog)
+	// Every status byte must be OK (0).
+	for i := uint64(0); i < 8; i++ {
+		v, f := vm.Mem.ReadUint(ioStatusBase+i, 1)
+		if f != nil || v != 0 {
+			t.Fatalf("status[%d] = %d (%v)", i, v, f)
+		}
+	}
+}
+
+func TestGuestVirtioBeatsPIO(t *testing.T) {
+	const sectors = 64
+	pio := ioVM(t, core.ModeHW)
+	if _, err := pio.AttachPIODisk(storage.NewRaw(4096)); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := BuildPIODiskProgram(sectors, true)
+	runIO(t, pio, prog)
+
+	vio := ioVM(t, core.ModeHW)
+	if _, _, err := vio.AttachVirtioBlk(storage.NewRaw(4096)); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildVirtioBlkProgram(sectors, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vio, prog)
+
+	cp := regionCycles(t, pio)
+	cv := regionCycles(t, vio)
+	if cv*3 > cp {
+		t.Fatalf("virtio (%d cycles) should be ≥3× faster than PIO (%d)", cv, cp)
+	}
+}
+
+func TestGuestRegNICTransmits(t *testing.T) {
+	vm := ioVM(t, core.ModeHW)
+	sw := vnet.NewSwitch()
+	nic, err := vm.AttachRegNIC(sw.NewPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := sw.NewPort()
+	var got int
+	sink.SetReceiver(func([]byte) { got++ })
+	prog, err := BuildRegNICProgram(10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vm, prog)
+	if nic.TxFrames != 10 || got != 10 {
+		t.Fatalf("tx=%d delivered=%d", nic.TxFrames, got)
+	}
+}
+
+func TestGuestVirtioNetTransmits(t *testing.T) {
+	vm := ioVM(t, core.ModeHW)
+	sw := vnet.NewSwitch()
+	n, mmio, err := vm.AttachVirtioNet(sw.NewPort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := sw.NewPort()
+	var got int
+	sink.SetReceiver(func([]byte) { got++ })
+	prog, err := BuildVirtioNetProgram(32, 8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vm, prog)
+	if n.TxFrames != 32 || got != 32 {
+		t.Fatalf("tx=%d delivered=%d", n.TxFrames, got)
+	}
+	if mmio.Notifies != 4 {
+		t.Fatalf("kicks = %d", mmio.Notifies)
+	}
+}
+
+func TestGuestVirtioNetBeatsRegNIC(t *testing.T) {
+	const frames, flen = 64, 256
+	reg := ioVM(t, core.ModeHW)
+	sw1 := vnet.NewSwitch()
+	if _, err := reg.AttachRegNIC(sw1.NewPort()); err != nil {
+		t.Fatal(err)
+	}
+	prog, _ := BuildRegNICProgram(frames, flen)
+	runIO(t, reg, prog)
+
+	vio := ioVM(t, core.ModeHW)
+	sw2 := vnet.NewSwitch()
+	if _, _, err := vio.AttachVirtioNet(sw2.NewPort()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildVirtioNetProgram(frames, 16, flen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIO(t, vio, prog)
+
+	cr, cv := regionCycles(t, reg), regionCycles(t, vio)
+	if cv*2 > cr {
+		t.Fatalf("virtio-net (%d) should be ≥2× faster than reg NIC (%d)", cv, cr)
+	}
+}
+
+func TestIOBenchArgValidation(t *testing.T) {
+	if _, err := BuildVirtioBlkProgram(10, 3, 0); err == nil {
+		t.Error("non-divisible batch accepted")
+	}
+	if _, err := BuildVirtioBlkProgram(0, 1, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := BuildRegNICProgram(1, 4); err == nil {
+		t.Error("runt frame accepted")
+	}
+	if _, err := BuildVirtioNetProgram(8, 4, 99999, 0); err == nil {
+		t.Error("giant frame accepted")
+	}
+	if _, err := BuildVirtioBlkProgram(4096, 4096, 0); err == nil {
+		t.Error("oversized ring accepted")
+	}
+}
+
+var _ = dev.SectorSize // keep dev import symmetrical with builders

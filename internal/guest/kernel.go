@@ -1,0 +1,504 @@
+// Package guest generates the guest software run inside govisor VMs: a
+// small kernel, written in GV64 assembly through the asm.Builder, that
+// boots under every virtualization mode, plus the parameterized workloads
+// the experiments drive.
+//
+// One kernel binary serves all modes: at boot it reads the CSRVenv
+// discovery register and picks mode-appropriate strategies (direct
+// page-table stores vs. MMU hypercalls), exactly like a paravirtualized
+// Linux deciding between native and pv-ops paths.
+//
+// Kernel register conventions (callee-owned, never touched by user code):
+//
+//	s11 = parameter block base        s10 = venv
+//	s9  = heap base (bytes)           s8  = scratch
+//	s0/s1 = syscall count/limit       s2..s7 = timer bookkeeping
+package guest
+
+import (
+	"fmt"
+
+	"govisor/internal/asm"
+	"govisor/internal/gabi"
+	"govisor/internal/isa"
+)
+
+// PTE flag constants the kernel materializes for churn mappings.
+const (
+	churnFlags = isa.PTEValid | isa.PTERead | isa.PTEWrite | isa.PTEAcc | isa.PTEDirty
+	userFlags  = isa.PTEValid | isa.PTERead | isa.PTEExec | isa.PTEUser | isa.PTEAcc
+)
+
+// BuildKernel assembles the universal guest kernel. The workload it runs is
+// selected at boot through the parameter block (gabi.PWorkload).
+func BuildKernel() ([]byte, error) {
+	b := asm.NewBuilder(gabi.KernelBase)
+
+	// ---- entry ----
+	b.Mv(isa.RegS11, isa.RegA0) // param base
+	b.Csrr(isa.RegS10, isa.CSRVenv)
+	b.La(isa.RegT0, "trap_vector")
+	b.Csrw(isa.CSRStvec, isa.RegT0)
+
+	// Heap base (bytes) from the page-number parameter.
+	loadParam(b, isa.RegS9, gabi.PHeapBase)
+	b.I(isa.OpSLLI, isa.RegS9, isa.RegS9, isa.PageShift)
+
+	// Enable paging with the VMM-prepared identity tables.
+	loadParam(b, isa.RegT0, gabi.PSatp)
+	b.Csrw(isa.CSRSatp, isa.RegT0)
+	b.SfenceVMA(isa.RegZero, isa.RegZero)
+
+	// Benchmark region start marker.
+	hcall1(b, gabi.HCMarker, 1)
+
+	// ---- workload dispatch ----
+	loadParam(b, isa.RegT0, gabi.PWorkload)
+	for _, w := range []struct {
+		id    uint64
+		label string
+	}{
+		{gabi.WCompute, "w_compute"},
+		{gabi.WMemTouch, "w_memtouch"},
+		{gabi.WPTChurn, "w_ptchurn"},
+		{gabi.WSyscall, "w_syscall"},
+		{gabi.WCSR, "w_csr"},
+		{gabi.WDirty, "w_dirty"},
+		{gabi.WIdle, "w_idle"},
+	} {
+		b.Li(isa.RegT1, w.id)
+		b.Branch(isa.OpBEQ, isa.RegT0, isa.RegT1, w.label)
+	}
+	b.Halt(0xBAD) // unknown workload
+
+	// Common epilogue: result0 in a0, then marker + halt.
+	b.Label("done")
+	storeParam(b, gabi.PResult0, isa.RegA0)
+	hcall1(b, gabi.HCMarker, 2)
+	b.Halt(0)
+
+	emitCompute(b)
+	emitMemTouch(b)
+	emitPTChurn(b)
+	emitSyscall(b)
+	emitCSR(b)
+	emitDirty(b)
+	emitIdle(b)
+	emitTrapVector(b)
+
+	img, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("guest: assembling kernel: %w", err)
+	}
+	return img, nil
+}
+
+// loadParam emits rd ← params[slot].
+func loadParam(b *asm.Builder, rd uint8, slot int) {
+	b.Load(isa.OpLD, rd, isa.RegS11, int64(slot*8))
+}
+
+// storeParam emits params[slot] ← rs.
+func storeParam(b *asm.Builder, slot int, rs uint8) {
+	b.Store(isa.OpSD, rs, isa.RegS11, int64(slot*8))
+}
+
+// hcall1 emits a one-argument hypercall, clobbering a0/a7.
+func hcall1(b *asm.Builder, nr uint64, a0 uint64) {
+	b.Li(isa.RegA0, a0)
+	b.Li(isa.RegA7, nr)
+	b.Ecall()
+}
+
+// emitCompute: pure ALU loop with an optional privileged op every PArg0
+// ALU operations (PArg0 = 0 disables them). Drives T1/F3.
+//
+//	for i = iters; i > 0; i-- {
+//	    for j = period; j > 0; j-- { t2 += t3 }
+//	    if period > 0 { csrw sscratch, t2 }
+//	}
+func emitCompute(b *asm.Builder) {
+	b.Label("w_compute")
+	loadParam(b, isa.RegT0, gabi.PIterations) // i
+	loadParam(b, isa.RegT4, gabi.PArg0)       // period
+	b.Li(isa.RegT2, 0)
+	b.Li(isa.RegT3, 3)
+	b.Label("wc_outer")
+	b.Branch(isa.OpBEQ, isa.RegT0, isa.RegZero, "wc_done")
+	b.Mv(isa.RegT1, isa.RegT4)
+	b.Label("wc_inner")
+	b.Branch(isa.OpBEQ, isa.RegT1, isa.RegZero, "wc_priv")
+	b.R(isa.OpADD, isa.RegT2, isa.RegT2, isa.RegT3)
+	b.I(isa.OpADDI, isa.RegT1, isa.RegT1, -1)
+	b.J("wc_inner")
+	b.Label("wc_priv")
+	b.Branch(isa.OpBEQ, isa.RegT4, isa.RegZero, "wc_next")
+	b.Csrw(isa.CSRSscratch, isa.RegT2) // the privileged op under test
+	b.Label("wc_next")
+	b.I(isa.OpADDI, isa.RegT0, isa.RegT0, -1)
+	b.J("wc_outer")
+	b.Label("wc_done")
+	b.Mv(isa.RegA0, isa.RegT2)
+	b.J("done")
+}
+
+// emitMemTouch: walk a working set of PWorkingSet pages PIterations times,
+// loading each page and storing on a PWriteFrac percentage of touches.
+// Drives F4 (TLB pressure: shadow vs nested) and T10.
+func emitMemTouch(b *asm.Builder) {
+	b.Label("w_memtouch")
+	loadParam(b, isa.RegT0, gabi.PIterations)
+	loadParam(b, isa.RegT1, gabi.PWorkingSet) // pages
+	loadParam(b, isa.RegT2, gabi.PWriteFrac)  // percent
+	b.Li(isa.RegA0, 0)                        // checksum
+	b.Li(isa.RegS8, 100)
+	b.Label("wm_outer")
+	b.Branch(isa.OpBEQ, isa.RegT0, isa.RegZero, "wm_done")
+	b.Li(isa.RegT3, 0) // page index
+	b.Label("wm_page")
+	b.Branch(isa.OpBGEU, isa.RegT3, isa.RegT1, "wm_next_iter")
+	// addr = heap + page<<12
+	b.I(isa.OpSLLI, isa.RegT4, isa.RegT3, isa.PageShift)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegS9)
+	b.Load(isa.OpLD, isa.RegT5, isa.RegT4, 0)
+	b.R(isa.OpADD, isa.RegA0, isa.RegA0, isa.RegT5)
+	// write if (page*7 + iter) % 100 < writeFrac — cheap deterministic mix.
+	b.Li(isa.RegT6, 7)
+	b.R(isa.OpMUL, isa.RegT6, isa.RegT3, isa.RegT6)
+	b.R(isa.OpADD, isa.RegT6, isa.RegT6, isa.RegT0)
+	b.R(isa.OpREMU, isa.RegT6, isa.RegT6, isa.RegS8)
+	b.Branch(isa.OpBGEU, isa.RegT6, isa.RegT2, "wm_skip_write")
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.Store(isa.OpSD, isa.RegT5, isa.RegT4, 0)
+	b.Label("wm_skip_write")
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 1)
+	b.J("wm_page")
+	b.Label("wm_next_iter")
+	b.I(isa.OpADDI, isa.RegT0, isa.RegT0, -1)
+	b.J("wm_outer")
+	b.Label("wm_done")
+	b.J("done")
+}
+
+// emitPTChurn: map/touch/unmap PChurnPages pages in the churn window,
+// PIterations times. Mode dispatch:
+//
+//   - venv != para: write the leaf PTE directly and SFENCE (under ModeTrap
+//     every store traps to the shadow engine — the cost under test).
+//   - venv == para, PArg0 == 0: one HCMMUMap/HCMMUUnmap hypercall per page.
+//   - venv == para, PArg0 != 0: build a batch array and issue one
+//     HCMMUBatch per iteration (ablation A1).
+//
+// Drives F5.
+func emitPTChurn(b *asm.Builder) {
+	b.Label("w_ptchurn")
+	loadParam(b, isa.RegT0, gabi.PIterations)
+	b.Li(isa.RegA0, 0) // checksum
+	b.Label("wp_outer")
+	b.Branch(isa.OpBEQ, isa.RegT0, isa.RegZero, "wp_done")
+
+	b.Li(isa.RegT1, isa.VEnvPara)
+	b.Branch(isa.OpBEQ, isa.RegS10, isa.RegT1, "wp_para")
+
+	// --- direct PTE stores (native / hw / trap) ---
+	loadParam(b, isa.RegT2, gabi.PChurnPages) // count
+	loadParam(b, isa.RegT3, gabi.PChurnPTE)   // PTE slot cursor
+	loadParam(b, isa.RegT4, gabi.PChurnVA)    // va cursor
+	b.Li(isa.RegT5, 0)                        // index
+	b.Label("wp_direct_loop")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_direct_unmap")
+	// pte = (heapPA >> 2) | flags, heap page reused for every mapping.
+	b.I(isa.OpSRLI, isa.RegT6, isa.RegS9, 2)
+	b.I(isa.OpORI, isa.RegT6, isa.RegT6, int64(churnFlags))
+	b.Store(isa.OpSD, isa.RegT6, isa.RegT3, 0) // PTE write (traps under shadow)
+	b.SfenceVMA(isa.RegT4, isa.RegZero)
+	b.Load(isa.OpLD, isa.RegT6, isa.RegT4, 0) // touch through the mapping
+	b.R(isa.OpADD, isa.RegA0, isa.RegA0, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 8)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_direct_loop")
+	// Unmap pass: zero the slots.
+	b.Label("wp_direct_unmap")
+	loadParam(b, isa.RegT3, gabi.PChurnPTE)
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Li(isa.RegT5, 0)
+	b.Label("wp_direct_unmap_loop")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_iter_end")
+	b.Store(isa.OpSD, isa.RegZero, isa.RegT3, 0)
+	b.SfenceVMA(isa.RegT4, isa.RegZero)
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 8)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_direct_unmap_loop")
+
+	// --- paravirtual path ---
+	b.Label("wp_para")
+	loadParam(b, isa.RegT1, gabi.PArg0)
+	b.Branch(isa.OpBNE, isa.RegT1, isa.RegZero, "wp_para_batch")
+	// Unbatched: hypercall per page.
+	loadParam(b, isa.RegT2, gabi.PChurnPages)
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Li(isa.RegT5, 0)
+	b.Label("wp_para_loop")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_para_unmap")
+	b.Mv(isa.RegA0, isa.RegT4)
+	b.Mv(isa.RegA1, isa.RegS9)
+	b.Li(isa.RegA2, uint64(churnFlags))
+	b.Li(isa.RegA7, gabi.HCMMUMap)
+	b.Ecall()
+	b.Load(isa.OpLD, isa.RegT6, isa.RegT4, 0)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_para_loop")
+	b.Label("wp_para_unmap")
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Li(isa.RegT5, 0)
+	b.Label("wp_para_unmap_loop")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_iter_end")
+	b.Mv(isa.RegA0, isa.RegT4)
+	b.Li(isa.RegA7, gabi.HCMMUUnmap)
+	b.Ecall()
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_para_unmap_loop")
+
+	// Batched: write {va,pa,flags} triples into the heap scratch area
+	// (second heap page) and issue one HCMMUBatch.
+	b.Label("wp_para_batch")
+	loadParam(b, isa.RegT2, gabi.PChurnPages)
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.I(isa.OpADDI, isa.RegT3, isa.RegS9, 0)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT3, isa.RegT3, isa.RegT6) // entries at heap+4K
+	b.Li(isa.RegT5, 0)
+	b.Label("wp_batch_fill")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_batch_call")
+	b.Store(isa.OpSD, isa.RegT4, isa.RegT3, 0) // va
+	b.Store(isa.OpSD, isa.RegS9, isa.RegT3, 8) // pa (heap page 0)
+	b.Li(isa.RegT6, uint64(churnFlags))
+	b.Store(isa.OpSD, isa.RegT6, isa.RegT3, 16)
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 24)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_batch_fill")
+	b.Label("wp_batch_call")
+	b.I(isa.OpADDI, isa.RegA0, isa.RegS9, 0)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegA0, isa.RegA0, isa.RegT6)
+	b.Mv(isa.RegA1, isa.RegT2)
+	b.Li(isa.RegA7, gabi.HCMMUBatch)
+	b.Ecall()
+	// Touch, then unmap each page individually.
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Li(isa.RegT5, 0)
+	b.Label("wp_batch_touch")
+	b.Branch(isa.OpBGEU, isa.RegT5, isa.RegT2, "wp_para_unmap")
+	b.Load(isa.OpLD, isa.RegT6, isa.RegT4, 0)
+	b.Li(isa.RegT6, isa.PageSize)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)
+	b.J("wp_batch_touch")
+
+	b.Label("wp_iter_end")
+	b.I(isa.OpADDI, isa.RegT0, isa.RegT0, -1)
+	b.J("wp_outer")
+	b.Label("wp_done")
+	b.J("done")
+}
+
+// emitSyscall: map a user page in the churn window, drop to user mode, and
+// count PIterations syscall round trips (the trap vector counts in s0 and
+// halts at s1). Drives the T1 syscall row and F3.
+func emitSyscall(b *asm.Builder) {
+	b.Label("w_syscall")
+	b.Li(isa.RegS0, 0) // syscall count
+	loadParam(b, isa.RegS1, gabi.PIterations)
+
+	// Write the user program into heap page 0:
+	//	loop: ecall; jal zero, -4
+	b.Li(isa.RegT1, uint64(isa.Encode(isa.Inst{Op: isa.OpECALL})))
+	b.Store(isa.OpSW, isa.RegT1, isa.RegS9, 0)
+	b.Li(isa.RegT1, uint64(isa.Encode(isa.Inst{Op: isa.OpJAL, Rd: 0, Imm: -4})))
+	b.Store(isa.OpSW, isa.RegT1, isa.RegS9, 4)
+
+	// Map churnVA → heap page 0 as a user page.
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Li(isa.RegT1, isa.VEnvPara)
+	b.Branch(isa.OpBEQ, isa.RegS10, isa.RegT1, "ws_para_map")
+	loadParam(b, isa.RegT3, gabi.PChurnPTE)
+	b.I(isa.OpSRLI, isa.RegT6, isa.RegS9, 2)
+	b.I(isa.OpORI, isa.RegT6, isa.RegT6, int64(userFlags))
+	b.Store(isa.OpSD, isa.RegT6, isa.RegT3, 0)
+	b.SfenceVMA(isa.RegT4, isa.RegZero)
+	b.J("ws_enter_user")
+	b.Label("ws_para_map")
+	b.Mv(isa.RegA0, isa.RegT4)
+	b.Mv(isa.RegA1, isa.RegS9)
+	b.Li(isa.RegA2, uint64(userFlags))
+	b.Li(isa.RegA7, gabi.HCMMUMap)
+	b.Ecall()
+
+	// Drop to user mode at the churn VA.
+	b.Label("ws_enter_user")
+	loadParam(b, isa.RegT4, gabi.PChurnVA)
+	b.Csrw(isa.CSRSepc, isa.RegT4)
+	b.Li(isa.RegT1, 0) // SPP=0 (user), SIE=0
+	b.Csrw(isa.CSRSstatus, isa.RegT1)
+	b.Sret()
+	// Unreachable: the trap vector halts after s1 syscalls.
+
+	// emitSyscall has no fallthrough to done.
+}
+
+// emitCSR: PIterations privileged CSR write+read pairs. Drives T1.
+func emitCSR(b *asm.Builder) {
+	b.Label("w_csr")
+	loadParam(b, isa.RegT0, gabi.PIterations)
+	b.Li(isa.RegT2, 0)
+	b.Label("wr_loop")
+	b.Branch(isa.OpBEQ, isa.RegT0, isa.RegZero, "wr_done")
+	b.Csrw(isa.CSRSscratch, isa.RegT0)
+	b.Csrr(isa.RegT2, isa.CSRSscratch)
+	b.I(isa.OpADDI, isa.RegT0, isa.RegT0, -1)
+	b.J("wr_loop")
+	b.Label("wr_done")
+	b.Mv(isa.RegA0, isa.RegT2)
+	b.J("done")
+}
+
+// emitDirty: dirty PWorkingSet pages per round with PArg0 ALU ops of think
+// time between page writes; PIterations rounds (0 = run forever). The
+// migration experiments run this as the background mutator. Result0 counts
+// completed rounds.
+func emitDirty(b *asm.Builder) {
+	b.Label("w_dirty")
+	loadParam(b, isa.RegT0, gabi.PIterations)
+	loadParam(b, isa.RegT1, gabi.PWorkingSet)
+	loadParam(b, isa.RegT2, gabi.PArg0) // think ops between writes
+	b.Li(isa.RegA0, 0)                  // rounds completed
+	b.Label("wd_outer")
+	b.Li(isa.RegT3, 0) // page index
+	b.Label("wd_page")
+	b.Branch(isa.OpBGEU, isa.RegT3, isa.RegT1, "wd_round_end")
+	b.I(isa.OpSLLI, isa.RegT4, isa.RegT3, isa.PageShift)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegS9)
+	b.Store(isa.OpSD, isa.RegA0, isa.RegT4, 0) // dirty the page
+	// Think time.
+	b.Mv(isa.RegT5, isa.RegT2)
+	b.Label("wd_think")
+	b.Branch(isa.OpBEQ, isa.RegT5, isa.RegZero, "wd_next_page")
+	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, -1)
+	b.J("wd_think")
+	b.Label("wd_next_page")
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 1)
+	b.J("wd_page")
+	b.Label("wd_round_end")
+	b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+	storeParam(b, gabi.PResult0, isa.RegA0)
+	b.Branch(isa.OpBEQ, isa.RegT0, isa.RegZero, "wd_outer") // forever
+	b.Branch(isa.OpBLTU, isa.RegA0, isa.RegT0, "wd_outer")
+	b.J("done")
+}
+
+// emitIdle: arm a periodic timer (period PArg0 cycles) and WFI; the trap
+// vector counts ticks into s2, accumulates wakeup latency into s3, and
+// halts after PIterations ticks. Drives F11 latency measurements.
+func emitIdle(b *asm.Builder) {
+	b.Label("w_idle")
+	b.Li(isa.RegS2, 0)                        // tick count
+	b.Li(isa.RegS3, 0)                        // accumulated latency
+	loadParam(b, isa.RegS4, gabi.PArg0)       // period
+	loadParam(b, isa.RegS5, gabi.PIterations) // tick limit
+	// Enable timer interrupts.
+	b.Li(isa.RegT1, 1<<isa.IntTimer)
+	b.Csrw(isa.CSRSie, isa.RegT1)
+	b.Li(isa.RegT1, isa.StatusSIE)
+	b.Csrw(isa.CSRSstatus, isa.RegT1)
+	// Arm: deadline s7 = now + period.
+	b.Csrr(isa.RegT1, isa.CSRTime)
+	b.R(isa.OpADD, isa.RegS7, isa.RegT1, isa.RegS4)
+	b.Csrw(isa.CSRStimecmp, isa.RegS7)
+	b.Label("wi_loop")
+	b.Wfi()
+	b.J("wi_loop")
+}
+
+// emitTrapVector: the kernel trap handler. Dispatches on scause:
+//
+//	interrupt/timer  → tick bookkeeping (s2..s7), rearm, halt at limit
+//	interrupt/ext    → claim from the interrupt controller, count in s6
+//	ecall from U     → syscall: count in s0, halt at s1
+//	anything else    → record cause and halt(0xEE)
+func emitTrapVector(b *asm.Builder) {
+	b.Align(4)
+	b.Label("trap_vector")
+	b.Csrr(isa.RegT5, isa.CSRScause)
+	b.Branch(isa.OpBLT, isa.RegT5, isa.RegZero, "tv_interrupt")
+
+	// Synchronous trap: syscall?
+	b.Li(isa.RegT6, isa.CauseEcallU)
+	b.Branch(isa.OpBNE, isa.RegT5, isa.RegT6, "tv_fatal")
+	b.I(isa.OpADDI, isa.RegS0, isa.RegS0, 1)
+	b.Csrr(isa.RegT6, isa.CSRSepc)
+	b.I(isa.OpADDI, isa.RegT6, isa.RegT6, 4)
+	b.Csrw(isa.CSRSepc, isa.RegT6)
+	b.Branch(isa.OpBGEU, isa.RegS0, isa.RegS1, "tv_syscall_done")
+	b.Sret()
+	b.Label("tv_syscall_done")
+	b.Mv(isa.RegA0, isa.RegS0)
+	storeParam(b, gabi.PResult0, isa.RegA0)
+	hcall1(b, gabi.HCMarker, 2)
+	b.Halt(0)
+
+	// Interrupt: isolate the cause number.
+	b.Label("tv_interrupt")
+	b.I(isa.OpSLLI, isa.RegT5, isa.RegT5, 1)
+	b.I(isa.OpSRLI, isa.RegT5, isa.RegT5, 1)
+	b.Li(isa.RegT6, isa.IntTimer)
+	b.Branch(isa.OpBEQ, isa.RegT5, isa.RegT6, "tv_timer")
+	b.Li(isa.RegT6, isa.IntExt)
+	b.Branch(isa.OpBEQ, isa.RegT5, isa.RegT6, "tv_ext")
+	b.Halt(0xEF) // unexpected interrupt
+
+	b.Label("tv_timer")
+	b.I(isa.OpADDI, isa.RegS2, isa.RegS2, 1)
+	// latency += time - deadline
+	b.Csrr(isa.RegT6, isa.CSRTime)
+	b.R(isa.OpSUB, isa.RegT6, isa.RegT6, isa.RegS7)
+	b.R(isa.OpADD, isa.RegS3, isa.RegS3, isa.RegT6)
+	// Rearm: s7 += period (write also clears the pending bit).
+	b.R(isa.OpADD, isa.RegS7, isa.RegS7, isa.RegS4)
+	b.Csrw(isa.CSRStimecmp, isa.RegS7)
+	b.Branch(isa.OpBGEU, isa.RegS2, isa.RegS5, "tv_timer_done")
+	b.Sret()
+	b.Label("tv_timer_done")
+	b.Mv(isa.RegA0, isa.RegS2)
+	storeParam(b, gabi.PResult0, isa.RegA0)
+	storeParam(b, gabi.PResult1, isa.RegS3)
+	hcall1(b, gabi.HCMarker, 2)
+	b.Halt(0)
+
+	b.Label("tv_ext")
+	// Claim from the interrupt controller to deassert the line.
+	b.Li(isa.RegT6, intCtlClaimAddr)
+	b.Load(isa.OpLD, isa.RegT6, isa.RegT6, 0)
+	b.I(isa.OpADDI, isa.RegS6, isa.RegS6, 1)
+	b.Sret()
+
+	b.Label("tv_fatal")
+	storeParam(b, gabi.PResult3, isa.RegT5)
+	b.Csrr(isa.RegT6, isa.CSRStval)
+	storeParam(b, gabi.PResult2, isa.RegT6)
+	b.Halt(0xEE)
+}
+
+// intCtlClaimAddr mirrors dev.IntCtlBase + dev.IntCtlClaim without importing
+// the dev package (guest code must not depend on host packages beyond the
+// ABI); checked against the real value in kernel_test.go.
+const intCtlClaimAddr = 0x4000_1000

@@ -1,0 +1,77 @@
+package guest
+
+import (
+	"govisor/internal/core"
+	"govisor/internal/gabi"
+)
+
+// Workload is a declarative description of what the guest kernel should run;
+// Apply writes it into a VM's boot parameters.
+type Workload struct {
+	Kind       uint64 // gabi.W*
+	Iterations uint64
+	WorkingSet uint64 // pages
+	Stride     uint64 // bytes
+	WriteFrac  uint64 // percent of touches that write
+	Arg0       uint64 // workload-specific (see gabi)
+	Arg1       uint64
+	Arg2       uint64
+}
+
+// Apply stores the workload into the VM's parameter block (call before
+// VM.Boot).
+func (w Workload) Apply(vm *core.VM) {
+	vm.SetParam(gabi.PWorkload, w.Kind)
+	vm.SetParam(gabi.PIterations, w.Iterations)
+	vm.SetParam(gabi.PWorkingSet, w.WorkingSet)
+	vm.SetParam(gabi.PStride, w.Stride)
+	vm.SetParam(gabi.PWriteFrac, w.WriteFrac)
+	vm.SetParam(gabi.PArg0, w.Arg0)
+	vm.SetParam(gabi.PArg1, w.Arg1)
+	vm.SetParam(gabi.PArg2, w.Arg2)
+}
+
+// Compute returns an ALU-bound workload with one privileged CSR write per
+// aluPerPriv ALU operations (0 disables privileged ops). Drives T1/F3.
+func Compute(iterations, aluPerPriv uint64) Workload {
+	return Workload{Kind: gabi.WCompute, Iterations: iterations, Arg0: aluPerPriv}
+}
+
+// MemTouch returns a working-set walker. Drives F4/T10.
+func MemTouch(iterations, pages, writeFrac uint64) Workload {
+	return Workload{Kind: gabi.WMemTouch, Iterations: iterations, WorkingSet: pages, WriteFrac: writeFrac}
+}
+
+// PTChurn returns a map/touch/unmap loop. batched enables the paravirtual
+// multicall path (ignored in other modes). Drives F5/A1.
+func PTChurn(iterations uint64, batched bool) Workload {
+	w := Workload{Kind: gabi.WPTChurn, Iterations: iterations}
+	if batched {
+		w.Arg0 = 1
+	}
+	return w
+}
+
+// Syscall returns a user/kernel ping-pong of n round trips. Drives T1.
+func Syscall(n uint64) Workload {
+	return Workload{Kind: gabi.WSyscall, Iterations: n}
+}
+
+// CSRLoop returns n privileged CSR write+read pairs. Drives T1.
+func CSRLoop(n uint64) Workload {
+	return Workload{Kind: gabi.WCSR, Iterations: n}
+}
+
+// Dirty returns the migration mutator: each round writes one word in each
+// of pages pages with thinkOps ALU operations between writes; rounds = 0
+// runs forever. Drives F7/F8.
+func Dirty(rounds, pages, thinkOps uint64) Workload {
+	return Workload{Kind: gabi.WDirty, Iterations: rounds, WorkingSet: pages, Arg0: thinkOps}
+}
+
+// Idle returns the latency-sensitive workload: a periodic timer every
+// period cycles, ticks times. Result1 accumulates wakeup latency. Drives
+// F11.
+func Idle(ticks, period uint64) Workload {
+	return Workload{Kind: gabi.WIdle, Iterations: ticks, Arg0: period}
+}

@@ -1,0 +1,239 @@
+package isa
+
+import "fmt"
+
+// Control and status register addresses (12-bit space, RISC-V numbering where
+// an equivalent exists). All S-mode CSRs trap with CauseIllegal when accessed
+// from U-mode; the read-only counters and VENV are accessible from U.
+const (
+	CSRSstatus  uint16 = 0x100
+	CSRSie      uint16 = 0x104
+	CSRStvec    uint16 = 0x105
+	CSRSscratch uint16 = 0x140
+	CSRSepc     uint16 = 0x141
+	CSRScause   uint16 = 0x142
+	CSRStval    uint16 = 0x143
+	CSRSip      uint16 = 0x144
+	CSRStimecmp uint16 = 0x14D
+	CSRSatp     uint16 = 0x180
+
+	CSRCycle   uint16 = 0xC00 // read-only cycle counter
+	CSRTime    uint16 = 0xC01 // read-only wall time (== cycles at 1 GHz)
+	CSRInstret uint16 = 0xC02 // read-only retired-instruction counter
+
+	// CSRVenv is a read-only environment-discovery register: the guest probes
+	// it at boot to learn which virtualization style it is running under.
+	// Values are the VEnv* constants below.
+	CSRVenv uint16 = 0xFC0
+)
+
+// VEnv values reported by CSRVenv.
+const (
+	VEnvNative uint64 = 0 // bare hardware (the "native" baseline)
+	VEnvTrap   uint64 = 1 // trap-and-emulate VMM with shadow paging
+	VEnvPara   uint64 = 2 // paravirtual VMM (hypercall ABI, direct paging)
+	VEnvHW     uint64 = 3 // hardware-assisted VMM (nested paging)
+)
+
+// sstatus bits.
+const (
+	StatusSIE  uint64 = 1 << 1 // supervisor interrupts enabled
+	StatusSPIE uint64 = 1 << 5 // previous SIE (stacked on trap entry)
+	StatusSPP  uint64 = 1 << 8 // previous privilege (0 = U, 1 = S)
+)
+
+// Interrupt numbers (bit positions in sie/sip; also scause values with
+// CauseInterrupt set).
+const (
+	IntSoft  uint64 = 1
+	IntTimer uint64 = 5
+	IntExt   uint64 = 9
+)
+
+// Trap cause values written to scause.
+const (
+	CauseInstrMisaligned uint64 = 0
+	CauseInstrAccess     uint64 = 1
+	CauseIllegal         uint64 = 2
+	CauseBreakpoint      uint64 = 3
+	CauseLoadMisaligned  uint64 = 4
+	CauseLoadAccess      uint64 = 5
+	CauseStoreMisaligned uint64 = 6
+	CauseStoreAccess     uint64 = 7
+	CauseEcallU          uint64 = 8
+	CauseEcallS          uint64 = 9
+	CauseInstrPageFault  uint64 = 12
+	CauseLoadPageFault   uint64 = 13
+	CauseStorePageFault  uint64 = 15
+
+	// CauseInterrupt is OR-ed with an Int* number for asynchronous traps.
+	CauseInterrupt uint64 = 1 << 63
+)
+
+// CauseName renders an scause value for traces and error messages.
+func CauseName(c uint64) string {
+	if c&CauseInterrupt != 0 {
+		switch c &^ CauseInterrupt {
+		case IntSoft:
+			return "soft-interrupt"
+		case IntTimer:
+			return "timer-interrupt"
+		case IntExt:
+			return "ext-interrupt"
+		}
+		return fmt.Sprintf("interrupt(%d)", c&^CauseInterrupt)
+	}
+	switch c {
+	case CauseInstrMisaligned:
+		return "instr-misaligned"
+	case CauseInstrAccess:
+		return "instr-access"
+	case CauseIllegal:
+		return "illegal-instruction"
+	case CauseBreakpoint:
+		return "breakpoint"
+	case CauseLoadMisaligned:
+		return "load-misaligned"
+	case CauseLoadAccess:
+		return "load-access"
+	case CauseStoreMisaligned:
+		return "store-misaligned"
+	case CauseStoreAccess:
+		return "store-access"
+	case CauseEcallU:
+		return "ecall-from-U"
+	case CauseEcallS:
+		return "ecall-from-S"
+	case CauseInstrPageFault:
+		return "instr-page-fault"
+	case CauseLoadPageFault:
+		return "load-page-fault"
+	case CauseStorePageFault:
+		return "store-page-fault"
+	}
+	return fmt.Sprintf("cause(%d)", c)
+}
+
+// SATP field layout: |mode:4|asid:16|ppn:44|.
+const (
+	SatpModeBare  uint64 = 0 // translation off: VA == PA
+	SatpModePaged uint64 = 8 // 3-level page tables (sv39-like)
+
+	satpModeShift = 60
+	satpASIDShift = 44
+	satpPPNMask   = (1 << 44) - 1
+)
+
+// SatpMode extracts the translation mode field.
+func SatpMode(satp uint64) uint64 { return satp >> satpModeShift }
+
+// SatpASID extracts the address-space identifier.
+func SatpASID(satp uint64) uint16 { return uint16(satp >> satpASIDShift) }
+
+// SatpPPN extracts the root page-table physical page number.
+func SatpPPN(satp uint64) uint64 { return satp & satpPPNMask }
+
+// MakeSatp assembles a SATP value.
+func MakeSatp(mode uint64, asid uint16, ppn uint64) uint64 {
+	return mode<<satpModeShift | uint64(asid)<<satpASIDShift | ppn&satpPPNMask
+}
+
+// CSRName returns a symbolic name for a CSR address.
+func CSRName(a uint16) string {
+	switch a {
+	case CSRSstatus:
+		return "sstatus"
+	case CSRSie:
+		return "sie"
+	case CSRStvec:
+		return "stvec"
+	case CSRSscratch:
+		return "sscratch"
+	case CSRSepc:
+		return "sepc"
+	case CSRScause:
+		return "scause"
+	case CSRStval:
+		return "stval"
+	case CSRSip:
+		return "sip"
+	case CSRStimecmp:
+		return "stimecmp"
+	case CSRSatp:
+		return "satp"
+	case CSRCycle:
+		return "cycle"
+	case CSRTime:
+		return "time"
+	case CSRInstret:
+		return "instret"
+	case CSRVenv:
+		return "venv"
+	}
+	return fmt.Sprintf("csr(0x%x)", a)
+}
+
+// CSRByName resolves a symbolic CSR name; used by the assembler.
+func CSRByName(name string) (uint16, bool) {
+	switch name {
+	case "sstatus":
+		return CSRSstatus, true
+	case "sie":
+		return CSRSie, true
+	case "stvec":
+		return CSRStvec, true
+	case "sscratch":
+		return CSRSscratch, true
+	case "sepc":
+		return CSRSepc, true
+	case "scause":
+		return CSRScause, true
+	case "stval":
+		return CSRStval, true
+	case "sip":
+		return CSRSip, true
+	case "stimecmp":
+		return CSRStimecmp, true
+	case "satp":
+		return CSRSatp, true
+	case "cycle":
+		return CSRCycle, true
+	case "time":
+		return CSRTime, true
+	case "instret":
+		return CSRInstret, true
+	case "venv":
+		return CSRVenv, true
+	}
+	return 0, false
+}
+
+// IsUserCSR reports whether the CSR may be read from U-mode.
+func IsUserCSR(a uint16) bool {
+	switch a {
+	case CSRCycle, CSRTime, CSRInstret, CSRVenv:
+		return true
+	}
+	return false
+}
+
+// IsReadOnlyCSR reports whether writes to the CSR are architecturally
+// prohibited (illegal-instruction trap).
+func IsReadOnlyCSR(a uint16) bool {
+	switch a {
+	case CSRCycle, CSRTime, CSRInstret, CSRVenv:
+		return true
+	}
+	return false
+}
+
+// KnownCSR reports whether a names an implemented CSR.
+func KnownCSR(a uint16) bool {
+	switch a {
+	case CSRSstatus, CSRSie, CSRStvec, CSRSscratch, CSRSepc, CSRScause,
+		CSRStval, CSRSip, CSRStimecmp, CSRSatp,
+		CSRCycle, CSRTime, CSRInstret, CSRVenv:
+		return true
+	}
+	return false
+}

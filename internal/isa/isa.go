@@ -1,0 +1,285 @@
+// Package isa defines GV64, the 64-bit RISC guest instruction set executed by
+// the govisor simulated machine.
+//
+// GV64 is deliberately RISC-V-flavoured (two privilege levels, CSRs, sv39-like
+// paging) but uses its own fixed 32-bit encoding so the whole toolchain —
+// assembler, interpreter, MMU — is self-contained. The ISA carries exactly the
+// privileged surface a virtual machine monitor must virtualize: control and
+// status registers, address-translation control (SATP, SFENCE.VMA), trap
+// entry/return (SRET), and environment calls.
+//
+// Instruction formats (32-bit words, little-endian in memory):
+//
+//	R-type:  |op:6|rd:5|rs1:5|rs2:5|pad:11|        register-register ALU
+//	I-type:  |op:6|rd:5|rs1:5|imm:16|              immediates, loads, JALR, CSR
+//	B-type:  |op:6|rs1:5|rs2:5|imm:16|             conditional branches
+//	J-type:  |op:6|rd:5|imm:21|                    JAL (imm is byte offset >> 2)
+//
+// Branch immediates are signed byte offsets (must be multiples of 4). ADDI,
+// SLTI, SLTIU and memory offsets sign-extend their 16-bit immediate; ANDI,
+// ORI and XORI zero-extend (MIPS-style), which lets the assembler synthesize
+// arbitrary 64-bit constants with shift/or chains.
+package isa
+
+import "fmt"
+
+// Op identifies a GV64 opcode (6 bits).
+type Op uint8
+
+// Opcode space. The zero value is reserved as an illegal instruction so that
+// zeroed memory faults rather than executing.
+const (
+	OpIllegal Op = iota
+
+	// R-type ALU.
+	OpADD
+	OpSUB
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+	OpMUL
+	OpMULH
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+
+	// I-type ALU.
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpSLTIU
+	OpLUI
+
+	// Loads.
+	OpLB
+	OpLBU
+	OpLH
+	OpLHU
+	OpLW
+	OpLWU
+	OpLD
+
+	// Stores.
+	OpSB
+	OpSH
+	OpSW
+	OpSD
+
+	// Branches.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+
+	// Jumps.
+	OpJAL
+	OpJALR
+
+	// System.
+	OpECALL
+	OpEBREAK
+	OpSRET
+	OpWFI
+	OpFENCE
+	OpSFENCE // SFENCE.VMA: rs1 = vaddr (0 ⇒ flush all), rs2 = asid (0 ⇒ all)
+	OpCSRRW
+	OpCSRRS
+	OpCSRRC
+	OpHALT // stop the hart; imm16 is a diagnostic code
+
+	opMax
+)
+
+// NumOps reports the number of defined opcodes (exported for fuzz/property
+// tests that want to enumerate the space).
+const NumOps = int(opMax)
+
+var opNames = [...]string{
+	OpIllegal: "illegal",
+	OpADD:     "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSLL: "sll", OpSRL: "srl", OpSRA: "sra", OpSLT: "slt", OpSLTU: "sltu",
+	OpMUL: "mul", OpMULH: "mulh", OpDIV: "div", OpDIVU: "divu",
+	OpREM: "rem", OpREMU: "remu",
+	OpADDI: "addi", OpANDI: "andi", OpORI: "ori", OpXORI: "xori",
+	OpSLLI: "slli", OpSRLI: "srli", OpSRAI: "srai", OpSLTI: "slti",
+	OpSLTIU: "sltiu", OpLUI: "lui",
+	OpLB: "lb", OpLBU: "lbu", OpLH: "lh", OpLHU: "lhu",
+	OpLW: "lw", OpLWU: "lwu", OpLD: "ld",
+	OpSB: "sb", OpSH: "sh", OpSW: "sw", OpSD: "sd",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge",
+	OpBLTU: "bltu", OpBGEU: "bgeu",
+	OpJAL: "jal", OpJALR: "jalr",
+	OpECALL: "ecall", OpEBREAK: "ebreak", OpSRET: "sret", OpWFI: "wfi",
+	OpFENCE: "fence", OpSFENCE: "sfence.vma",
+	OpCSRRW: "csrrw", OpCSRRS: "csrrs", OpCSRRC: "csrrc",
+	OpHALT: "halt",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined, executable opcode.
+func (op Op) Valid() bool { return op > OpIllegal && op < opMax }
+
+// Format classifies how an opcode's operand fields are laid out.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtR   Format = iota // rd, rs1, rs2
+	FmtI                 // rd, rs1, imm16
+	FmtB                 // rs1, rs2, imm16
+	FmtJ                 // rd, imm21 (stored as byte offset >> 2)
+	FmtSys               // no register operands (ecall/ebreak/sret/wfi/fence/halt)
+)
+
+// FormatOf returns the encoding format used by op.
+func FormatOf(op Op) Format {
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpSLT,
+		OpSLTU, OpMUL, OpMULH, OpDIV, OpDIVU, OpREM, OpREMU, OpSFENCE:
+		return FmtR
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU,
+		OpSB, OpSH, OpSW, OpSD:
+		// Stores are B-format: rs1 = base, rs2 = source value, imm = offset.
+		return FmtB
+	case OpJAL:
+		return FmtJ
+	case OpECALL, OpEBREAK, OpSRET, OpWFI, OpFENCE, OpHALT:
+		return FmtSys
+	default:
+		return FmtI
+	}
+}
+
+// SignExtendsImm reports whether op's 16-bit immediate is sign-extended
+// (as opposed to zero-extended) when consumed by the interpreter.
+func SignExtendsImm(op Op) bool {
+	switch op {
+	case OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI, OpCSRRW, OpCSRRS, OpCSRRC:
+		return false
+	}
+	return true
+}
+
+// Inst is a decoded GV64 instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign- or zero-extended per SignExtendsImm; J-type byte offset
+}
+
+// Encode packs the instruction into its 32-bit word representation.
+// It panics if register numbers exceed 31; immediates are truncated to their
+// field width (the assembler range-checks before calling).
+func Encode(in Inst) uint32 {
+	if in.Rd > 31 || in.Rs1 > 31 || in.Rs2 > 31 {
+		panic(fmt.Sprintf("isa: register out of range in %+v", in))
+	}
+	w := uint32(in.Op) << 26
+	switch FormatOf(in.Op) {
+	case FmtR:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<11
+	case FmtI:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(uint16(in.Imm))
+	case FmtB:
+		w |= uint32(in.Rs1)<<21 | uint32(in.Rs2)<<16 | uint32(uint16(in.Imm))
+	case FmtJ:
+		w |= uint32(in.Rd)<<21 | (uint32(in.Imm>>2) & 0x1FFFFF)
+	case FmtSys:
+		w |= uint32(uint16(in.Imm))
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word. Undefined opcodes decode with
+// Op = OpIllegal or an out-of-range Op; callers must check Op.Valid().
+func Decode(w uint32) Inst {
+	op := Op(w >> 26)
+	var in Inst
+	in.Op = op
+	switch FormatOf(op) {
+	case FmtR:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		in.Rs2 = uint8(w >> 11 & 31)
+	case FmtI:
+		in.Rd = uint8(w >> 21 & 31)
+		in.Rs1 = uint8(w >> 16 & 31)
+		in.Imm = immExtend(op, uint16(w))
+	case FmtB:
+		in.Rs1 = uint8(w >> 21 & 31)
+		in.Rs2 = uint8(w >> 16 & 31)
+		in.Imm = immExtend(op, uint16(w))
+	case FmtJ:
+		in.Rd = uint8(w >> 21 & 31)
+		off := int32(w<<11) >> 11 // sign-extend 21-bit field
+		in.Imm = off << 2         // stored in words
+	case FmtSys:
+		in.Imm = int32(uint16(w))
+	}
+	return in
+}
+
+func immExtend(op Op, raw uint16) int32 {
+	if SignExtendsImm(op) {
+		return int32(int16(raw))
+	}
+	return int32(uint32(raw))
+}
+
+// Disasm renders the instruction in assembler syntax, for traces and tests.
+func Disasm(in Inst) string {
+	switch FormatOf(in.Op) {
+	case FmtR:
+		if in.Op == OpSFENCE {
+			return fmt.Sprintf("sfence.vma %s, %s", RegName(in.Rs1), RegName(in.Rs2))
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FmtI:
+		switch in.Op {
+		case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD:
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		case OpJALR:
+			return fmt.Sprintf("jalr %s, %d(%s)", RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		case OpLUI:
+			return fmt.Sprintf("lui %s, %d", RegName(in.Rd), in.Imm)
+		case OpCSRRW, OpCSRRS, OpCSRRC:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), CSRName(uint16(in.Imm)), RegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case FmtB:
+		switch in.Op {
+		case OpSB, OpSH, OpSW, OpSD:
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rs2), in.Imm, RegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("jal %s, %d", RegName(in.Rd), in.Imm)
+	default:
+		if in.Op == OpHALT || in.Op == OpECALL {
+			return fmt.Sprintf("%s %d", in.Op, in.Imm)
+		}
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,263 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllFormats(t *testing.T) {
+	cases := []Inst{
+		{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSUB, Rd: 31, Rs1: 31, Rs2: 31},
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: -32768},
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: 32767},
+		{Op: OpORI, Rd: 5, Rs1: 6, Imm: 0xFFFF}, // zero-extended
+		{Op: OpANDI, Rd: 5, Rs1: 6, Imm: 0},
+		{Op: OpLD, Rd: 7, Rs1: 2, Imm: -8},
+		{Op: OpSD, Rs1: 2, Rs2: 7, Imm: 16},
+		{Op: OpBEQ, Rs1: 1, Rs2: 2, Imm: -4096},
+		{Op: OpBGEU, Rs1: 30, Rs2: 29, Imm: 32764},
+		{Op: OpJAL, Rd: 1, Imm: -4 << 18},
+		{Op: OpJAL, Rd: 0, Imm: 4},
+		{Op: OpJALR, Rd: 1, Rs1: 5, Imm: 0},
+		{Op: OpCSRRW, Rd: 10, Rs1: 11, Imm: int32(CSRSatp)},
+		{Op: OpCSRRS, Rd: 10, Rs1: 0, Imm: int32(CSRScause)},
+		{Op: OpECALL},
+		{Op: OpHALT, Imm: 42},
+		{Op: OpSRET},
+		{Op: OpSFENCE, Rs1: 4, Rs2: 5},
+		{Op: OpLUI, Rd: 3, Imm: -1},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		if got != in {
+			t.Errorf("round trip %s: encoded %+v, decoded %+v", in.Op, in, got)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		op := Op(rng.Intn(NumOps-1) + 1)
+		in := Inst{Op: op}
+		switch FormatOf(op) {
+		case FmtR:
+			in.Rd = uint8(rng.Intn(32))
+			in.Rs1 = uint8(rng.Intn(32))
+			in.Rs2 = uint8(rng.Intn(32))
+		case FmtI:
+			in.Rd = uint8(rng.Intn(32))
+			in.Rs1 = uint8(rng.Intn(32))
+			if SignExtendsImm(op) {
+				in.Imm = int32(int16(rng.Uint32()))
+			} else {
+				in.Imm = int32(uint16(rng.Uint32()))
+			}
+		case FmtB:
+			in.Rs1 = uint8(rng.Intn(32))
+			in.Rs2 = uint8(rng.Intn(32))
+			in.Imm = int32(int16(rng.Uint32()))
+		case FmtJ:
+			in.Rd = uint8(rng.Intn(32))
+			in.Imm = (int32(rng.Uint32()) << 12 >> 12) &^ 3 // 20-bit word offset
+		case FmtSys:
+			in.Imm = int32(uint16(rng.Uint32()))
+		}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		_ = Decode(w) // must not panic, any bit pattern
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroWordIsIllegal(t *testing.T) {
+	in := Decode(0)
+	if in.Op.Valid() {
+		t.Fatalf("all-zero word decoded to valid op %v", in.Op)
+	}
+}
+
+func TestOpStringsUnique(t *testing.T) {
+	seen := map[string]Op{}
+	for op := Op(1); int(op) < NumOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no mnemonic", op)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("mnemonic %q used by both %d and %d", s, prev, op)
+		}
+		seen[s] = op
+	}
+}
+
+func TestRegNameRoundTrip(t *testing.T) {
+	for r := uint8(0); r < 32; r++ {
+		got, ok := RegByName(RegName(r))
+		if !ok || got != r {
+			t.Errorf("RegByName(RegName(%d)) = %d, %v", r, got, ok)
+		}
+	}
+	if r, ok := RegByName("x17"); !ok || r != 17 {
+		t.Errorf("x17 = %d, %v", r, ok)
+	}
+	if r, ok := RegByName("fp"); !ok || r != RegS0 {
+		t.Errorf("fp = %d, %v", r, ok)
+	}
+	if _, ok := RegByName("x32"); ok {
+		t.Error("x32 should not resolve")
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus should not resolve")
+	}
+}
+
+func TestCSRNameRoundTrip(t *testing.T) {
+	addrs := []uint16{
+		CSRSstatus, CSRSie, CSRStvec, CSRSscratch, CSRSepc, CSRScause,
+		CSRStval, CSRSip, CSRStimecmp, CSRSatp, CSRCycle, CSRTime,
+		CSRInstret, CSRVenv,
+	}
+	for _, a := range addrs {
+		got, ok := CSRByName(CSRName(a))
+		if !ok || got != a {
+			t.Errorf("CSRByName(CSRName(%#x)) = %#x, %v", a, got, ok)
+		}
+		if !KnownCSR(a) {
+			t.Errorf("CSR %#x not known", a)
+		}
+	}
+	if KnownCSR(0x7FF) {
+		t.Error("0x7FF should be unknown")
+	}
+}
+
+func TestSatpFields(t *testing.T) {
+	satp := MakeSatp(SatpModePaged, 0xBEEF, 0x12345)
+	if SatpMode(satp) != SatpModePaged {
+		t.Errorf("mode = %d", SatpMode(satp))
+	}
+	if SatpASID(satp) != 0xBEEF {
+		t.Errorf("asid = %#x", SatpASID(satp))
+	}
+	if SatpPPN(satp) != 0x12345 {
+		t.Errorf("ppn = %#x", SatpPPN(satp))
+	}
+}
+
+func TestSatpRoundTripProperty(t *testing.T) {
+	f := func(asid uint16, ppn uint64) bool {
+		ppn &= (1 << 44) - 1
+		s := MakeSatp(SatpModePaged, asid, ppn)
+		return SatpASID(s) == asid && SatpPPN(s) == ppn && SatpMode(s) == SatpModePaged
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTEFields(t *testing.T) {
+	pte := MakePTE(0xABCDE, PTEValid|PTERead|PTEWrite)
+	if PTEPPN(pte) != 0xABCDE {
+		t.Errorf("ppn = %#x", PTEPPN(pte))
+	}
+	if !PTELeaf(pte) {
+		t.Error("R|W entry should be leaf")
+	}
+	ptr := MakePTE(0x1, PTEValid)
+	if PTELeaf(ptr) {
+		t.Error("pointer entry misclassified as leaf")
+	}
+}
+
+func TestPTERoundTripProperty(t *testing.T) {
+	f := func(ppn uint64, flags uint8) bool {
+		ppn &= (1 << 44) - 1
+		fl := uint64(flags) & PTEPerms
+		pte := MakePTE(ppn, fl)
+		return PTEPPN(pte) == ppn && pte&PTEPerms == fl
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVPNDecomposition(t *testing.T) {
+	// va = vpn2|vpn1|vpn0|offset with distinctive values.
+	va := uint64(3)<<30 | uint64(5)<<21 | uint64(7)<<12 | 0x123
+	if VPN(va, 2) != 3 || VPN(va, 1) != 5 || VPN(va, 0) != 7 {
+		t.Errorf("VPN fields = %d,%d,%d", VPN(va, 2), VPN(va, 1), VPN(va, 0))
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageAlign(0x1FFF) != 0x1000 {
+		t.Errorf("PageAlign(0x1FFF) = %#x", PageAlign(0x1FFF))
+	}
+	if PageRoundUp(1) != PageSize {
+		t.Errorf("PageRoundUp(1) = %d", PageRoundUp(1))
+	}
+	if PageRoundUp(0) != 0 {
+		t.Errorf("PageRoundUp(0) = %d", PageRoundUp(0))
+	}
+	if PFN(0x3456) != 3 {
+		t.Errorf("PFN = %d", PFN(0x3456))
+	}
+}
+
+func TestCauseNames(t *testing.T) {
+	if CauseName(CauseEcallU) != "ecall-from-U" {
+		t.Error(CauseName(CauseEcallU))
+	}
+	if CauseName(CauseInterrupt|IntTimer) != "timer-interrupt" {
+		t.Error(CauseName(CauseInterrupt | IntTimer))
+	}
+	if CauseName(999) == "" {
+		t.Error("unknown cause should still render")
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	cases := map[string]Inst{
+		"add a0, a1, a2":      {Op: OpADD, Rd: RegA0, Rs1: RegA1, Rs2: RegA2},
+		"addi a0, a1, -5":     {Op: OpADDI, Rd: RegA0, Rs1: RegA1, Imm: -5},
+		"ld t0, 8(sp)":        {Op: OpLD, Rd: RegT0, Rs1: RegSP, Imm: 8},
+		"sd t0, 8(sp)":        {Op: OpSD, Rs1: RegSP, Rs2: RegT0, Imm: 8},
+		"beq a0, a1, 16":      {Op: OpBEQ, Rs1: RegA0, Rs2: RegA1, Imm: 16},
+		"jal ra, -8":          {Op: OpJAL, Rd: RegRA, Imm: -8},
+		"csrrw a0, satp, a1":  {Op: OpCSRRW, Rd: RegA0, Rs1: RegA1, Imm: int32(CSRSatp)},
+		"sret":                {Op: OpSRET},
+		"sfence.vma t0, zero": {Op: OpSFENCE, Rs1: RegT0},
+	}
+	for want, in := range cases {
+		if got := Disasm(in); got != want {
+			t.Errorf("Disasm(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPageFaultCauseMapping(t *testing.T) {
+	if PageFaultCause(AccRead) != CauseLoadPageFault ||
+		PageFaultCause(AccWrite) != CauseStorePageFault ||
+		PageFaultCause(AccExec) != CauseInstrPageFault {
+		t.Error("page fault cause mapping wrong")
+	}
+	if AccessFaultCause(AccRead) != CauseLoadAccess ||
+		AccessFaultCause(AccWrite) != CauseStoreAccess ||
+		AccessFaultCause(AccExec) != CauseInstrAccess {
+		t.Error("access fault cause mapping wrong")
+	}
+}

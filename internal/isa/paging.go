@@ -1,0 +1,111 @@
+package isa
+
+// Paging geometry: 4 KiB base pages, three translation levels of 512 entries
+// each (sv39-like), giving a 39-bit virtual address space. A leaf at level 1
+// maps a 2 MiB superpage; a leaf at level 2 maps a 1 GiB superpage.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+
+	PTLevels       = 3
+	PTEntriesShift = 9
+	PTEntries      = 1 << PTEntriesShift // 512 PTEs per table page
+	VABits         = PageShift + PTLevels*PTEntriesShift
+
+	MegaPageSize = 1 << (PageShift + PTEntriesShift)   // 2 MiB
+	GigaPageSize = 1 << (PageShift + 2*PTEntriesShift) // 1 GiB
+)
+
+// Page-table entry bits. A PTE is a leaf iff any of R/W/X is set; otherwise a
+// valid PTE points to the next-level table.
+const (
+	PTEValid  uint64 = 1 << 0
+	PTERead   uint64 = 1 << 1
+	PTEWrite  uint64 = 1 << 2
+	PTEExec   uint64 = 1 << 3
+	PTEUser   uint64 = 1 << 4
+	PTEGlobal uint64 = 1 << 5
+	PTEAcc    uint64 = 1 << 6
+	PTEDirty  uint64 = 1 << 7
+
+	ptePPNShift = 10
+	ptePPNMask  = (uint64(1)<<44 - 1) << ptePPNShift
+)
+
+// PTEPerms masks the permission/attribute bits of a PTE.
+const PTEPerms = PTEValid | PTERead | PTEWrite | PTEExec | PTEUser | PTEGlobal | PTEAcc | PTEDirty
+
+// PTEPPN extracts the physical page number a PTE points to.
+func PTEPPN(pte uint64) uint64 { return (pte & ptePPNMask) >> ptePPNShift }
+
+// MakePTE assembles a PTE from a physical page number and flag bits.
+func MakePTE(ppn uint64, flags uint64) uint64 {
+	return ppn<<ptePPNShift&ptePPNMask | flags&PTEPerms
+}
+
+// PTELeaf reports whether a valid PTE is a leaf mapping.
+func PTELeaf(pte uint64) bool { return pte&(PTERead|PTEWrite|PTEExec) != 0 }
+
+// VPN extracts the level-th virtual page number component (level 0 is the
+// least significant, indexing the last-level table).
+func VPN(va uint64, level int) uint64 {
+	return va >> (PageShift + uint(level)*PTEntriesShift) & (PTEntries - 1)
+}
+
+// PageAlign rounds addr down to a page boundary.
+func PageAlign(addr uint64) uint64 { return addr &^ uint64(PageMask) }
+
+// PageRoundUp rounds n up to a whole number of pages.
+func PageRoundUp(n uint64) uint64 { return (n + PageMask) &^ uint64(PageMask) }
+
+// PFN returns the page frame number containing addr.
+func PFN(addr uint64) uint64 { return addr >> PageShift }
+
+// Access describes the kind of memory access being translated.
+type Access uint8
+
+// Access kinds.
+const (
+	AccRead Access = iota
+	AccWrite
+	AccExec
+)
+
+// String returns "read", "write" or "exec".
+func (a Access) String() string {
+	switch a {
+	case AccRead:
+		return "read"
+	case AccWrite:
+		return "write"
+	case AccExec:
+		return "exec"
+	}
+	return "access?"
+}
+
+// PageFaultCause maps an access kind to the architectural page-fault cause.
+func PageFaultCause(a Access) uint64 {
+	switch a {
+	case AccWrite:
+		return CauseStorePageFault
+	case AccExec:
+		return CauseInstrPageFault
+	default:
+		return CauseLoadPageFault
+	}
+}
+
+// AccessFaultCause maps an access kind to the architectural access-fault
+// cause (used for physical-address violations, e.g. beyond guest RAM).
+func AccessFaultCause(a Access) uint64 {
+	switch a {
+	case AccWrite:
+		return CauseStoreAccess
+	case AccExec:
+		return CauseInstrAccess
+	default:
+		return CauseLoadAccess
+	}
+}

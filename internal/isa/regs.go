@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+// Architectural register numbers with their ABI names. x0 reads as zero and
+// ignores writes.
+const (
+	RegZero = 0 // hardwired zero
+	RegRA   = 1 // return address
+	RegSP   = 2 // stack pointer
+	RegGP   = 3 // global pointer
+	RegTP   = 4 // thread pointer
+	RegT0   = 5 // temporaries
+	RegT1   = 6
+	RegT2   = 7
+	RegS0   = 8 // saved / frame pointer
+	RegS1   = 9
+	RegA0   = 10 // arguments / return values
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegA6   = 16
+	RegA7   = 17 // syscall / hypercall number
+	RegS2   = 18
+	RegS3   = 19
+	RegS4   = 20
+	RegS5   = 21
+	RegS6   = 22
+	RegS7   = 23
+	RegS8   = 24
+	RegS9   = 25
+	RegS10  = 26
+	RegS11  = 27
+	RegT3   = 28
+	RegT4   = 29
+	RegT5   = 30
+	RegT6   = 31
+)
+
+var regNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// RegName returns the ABI name of register r ("zero", "ra", "a0", ...).
+func RegName(r uint8) string {
+	if r < 32 {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// RegByName resolves an ABI name ("a0") or numeric name ("x10") to a
+// register number.
+func RegByName(name string) (uint8, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'x' {
+		var v int
+		if _, err := fmt.Sscanf(name, "x%d", &v); err == nil && v >= 0 && v < 32 {
+			return uint8(v), true
+		}
+	}
+	if name == "fp" {
+		return RegS0, true
+	}
+	return 0, false
+}

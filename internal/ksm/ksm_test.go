@@ -1,0 +1,155 @@
+package ksm
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+)
+
+func newVMSpace(t *testing.T, pool *mem.Pool, pages uint64) *mem.GuestPhys {
+	t.Helper()
+	g := mem.NewGuestPhys(pool, pages*isa.PageSize)
+	if err := g.PopulateAll(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func fillPage(g *mem.GuestPhys, gfn uint64, fill byte) {
+	buf := make([]byte, isa.PageSize)
+	for i := range buf {
+		buf[i] = fill
+	}
+	g.WriteRaw(gfn, buf)
+}
+
+func TestScanMergesIdenticalAcrossVMs(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 8)
+	b := newVMSpace(t, pool, 8)
+	// Same "image" content in both VMs.
+	for gfn := uint64(0); gfn < 4; gfn++ {
+		fillPage(a, gfn, byte(gfn+1))
+		fillPage(b, gfn, byte(gfn+1))
+	}
+	// Distinct content elsewhere.
+	fillPage(a, 5, 0xAA)
+	fillPage(b, 5, 0xBB)
+
+	before := pool.InUse()
+	s := NewScanner(pool)
+	freed := s.ScanAll([]*mem.GuestPhys{a, b})
+	if freed == 0 {
+		t.Fatal("no frames freed")
+	}
+	if pool.InUse() >= before {
+		t.Fatal("pool usage did not drop")
+	}
+	// The 4 identical pages + zero pages merge; distinct pages must not.
+	if a.Frame(5) == b.Frame(5) {
+		t.Fatal("distinct pages merged")
+	}
+	for gfn := uint64(0); gfn < 4; gfn++ {
+		if a.Frame(gfn) != b.Frame(gfn) {
+			t.Fatalf("identical page %d not merged", gfn)
+		}
+		if !b.IsCOW(gfn) || !a.IsCOW(gfn) {
+			t.Fatalf("merged page %d not COW on both sides", gfn)
+		}
+	}
+}
+
+func TestMergedPageSplitsOnWrite(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 4)
+	b := newVMSpace(t, pool, 4)
+	fillPage(a, 0, 0x42)
+	fillPage(b, 0, 0x42)
+	s := NewScanner(pool)
+	s.ScanAll([]*mem.GuestPhys{a, b})
+	if a.Frame(0) != b.Frame(0) {
+		t.Fatal("pages should be merged")
+	}
+	// Guest B writes: COW break isolates it.
+	if f := b.WriteUint(0, 8, 0xDEAD); f != nil {
+		t.Fatal(f)
+	}
+	if a.Frame(0) == b.Frame(0) {
+		t.Fatal("write did not split the shared frame")
+	}
+	va, _ := a.ReadUint(0, 8)
+	vb, _ := b.ReadUint(0, 8)
+	if va == vb {
+		t.Fatal("contents should now differ")
+	}
+	if va != 0x4242424242424242 {
+		t.Fatalf("a content corrupted: %#x", va)
+	}
+}
+
+func TestZeroPagesMerge(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 8)
+	b := newVMSpace(t, pool, 8)
+	// All pages zero (never written): one scan should collapse most frames.
+	s := NewScanner(pool)
+	before := pool.InUse()
+	s.ScanAll([]*mem.GuestPhys{a, b})
+	if pool.InUse() >= before {
+		t.Fatalf("zero pages not merged: %d → %d", before, pool.InUse())
+	}
+	if s.Stats.ZeroPages == 0 {
+		t.Fatal("zero page counter")
+	}
+}
+
+func TestScanSkipsWriteProtectedPages(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 4)
+	b := newVMSpace(t, pool, 4)
+	fillPage(a, 1, 7)
+	fillPage(b, 1, 7)
+	a.WriteProtect(1, true) // a page-table page: must not merge
+	s := NewScanner(pool)
+	s.ScanAll([]*mem.GuestPhys{a, b})
+	if a.Frame(1) == b.Frame(1) {
+		t.Fatal("write-protected page merged")
+	}
+}
+
+func TestRepeatedScansIdempotent(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 8)
+	b := newVMSpace(t, pool, 8)
+	for gfn := uint64(0); gfn < 8; gfn++ {
+		fillPage(a, gfn, 9)
+		fillPage(b, gfn, 9)
+	}
+	s := NewScanner(pool)
+	s.ScanAll([]*mem.GuestPhys{a, b})
+	inUse := pool.InUse()
+	s.ScanAll([]*mem.GuestPhys{a, b})
+	if pool.InUse() != inUse {
+		t.Fatalf("second scan changed usage: %d → %d", inUse, pool.InUse())
+	}
+}
+
+func TestSavingsScaleWithVMCount(t *testing.T) {
+	pool := mem.NewPool(1024)
+	var spaces []*mem.GuestPhys
+	const pages = 16
+	for i := 0; i < 8; i++ {
+		g := newVMSpace(t, pool, pages)
+		for gfn := uint64(0); gfn < pages; gfn++ {
+			fillPage(g, gfn, byte(gfn)) // same image everywhere
+		}
+		spaces = append(spaces, g)
+	}
+	s := NewScanner(pool)
+	s.ScanAll(spaces)
+	// 8 VMs × 16 pages = 128 frames; after dedup ~16 remain.
+	if pool.InUse() > 2*pages {
+		t.Fatalf("in use after dedup = %d", pool.InUse())
+	}
+}

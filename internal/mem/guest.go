@@ -1,0 +1,461 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"govisor/internal/isa"
+)
+
+// FaultKind classifies guest-physical access failures that escalate to the
+// VMM (the software analogue of an EPT violation / host page fault).
+type FaultKind uint8
+
+// Guest-physical fault kinds.
+const (
+	FaultNone       FaultKind = iota
+	FaultNotPresent           // gfn has no host frame (demand page, ballooned out, post-copy)
+	FaultWriteProt            // page is write-protected by the VMM (shadow PT tracking, dirty logging)
+	FaultBeyondRAM            // gpa outside guest RAM and outside any MMIO window
+)
+
+// Fault describes a guest-physical access failure.
+type Fault struct {
+	Kind   FaultKind
+	GPA    uint64
+	Access isa.Access
+}
+
+// Error implements error for plumbing through test helpers.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: %v fault at gpa %#x (%v)", f.Kind, f.GPA, f.Access)
+}
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultNotPresent:
+		return "not-present"
+	case FaultWriteProt:
+		return "write-protect"
+	case FaultBeyondRAM:
+		return "beyond-ram"
+	}
+	return "fault?"
+}
+
+const wordsPerBitmap = 64
+
+// GuestPhys is one VM's guest-physical address space: a gfn → hfn mapping
+// over the host pool, with per-page state used by the VMM's memory services:
+//
+//   - dirty bits (live migration, incremental snapshots)
+//   - write-protect bits (shadow page-table coherence; pre-copy rounds)
+//   - COW bits (pages shared with other VMs by dedup or cloning)
+type GuestPhys struct {
+	pool   *Pool
+	npages uint64
+	hfn    []uint64 // NoFrame when unmapped
+
+	dirty   []uint64 // bitmaps, one bit per gfn
+	wprot   []uint64
+	cow     []uint64
+	pinned  []uint64
+	present uint64 // count of mapped pages
+
+	// Stats visible to experiments.
+	DirtySets   uint64 // writes that newly dirtied a page
+	COWBreaks   uint64
+	DemandFills uint64
+}
+
+// NewGuestPhys creates an address space of size bytes (rounded up to pages)
+// over pool. No pages are populated; callers either PopulateAll (eager) or
+// let not-present faults drive demand population.
+func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
+	np := isa.PageRoundUp(size) >> isa.PageShift
+	g := &GuestPhys{
+		pool:   pool,
+		npages: np,
+		hfn:    make([]uint64, np),
+		dirty:  make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
+		wprot:  make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
+		cow:    make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
+		pinned: make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
+	}
+	for i := range g.hfn {
+		g.hfn[i] = NoFrame
+	}
+	return g
+}
+
+// Pool returns the backing host pool.
+func (g *GuestPhys) Pool() *Pool { return g.pool }
+
+// Pages returns the number of guest-physical pages.
+func (g *GuestPhys) Pages() uint64 { return g.npages }
+
+// Size returns the RAM size in bytes.
+func (g *GuestPhys) Size() uint64 { return g.npages << isa.PageShift }
+
+// Present returns the number of currently mapped pages.
+func (g *GuestPhys) Present() uint64 { return g.present }
+
+// Contains reports whether gpa falls inside guest RAM.
+func (g *GuestPhys) Contains(gpa uint64) bool { return gpa>>isa.PageShift < g.npages }
+
+func bit(bm []uint64, i uint64) bool { return bm[i/wordsPerBitmap]&(1<<(i%wordsPerBitmap)) != 0 }
+func setBit(bm []uint64, i uint64)   { bm[i/wordsPerBitmap] |= 1 << (i % wordsPerBitmap) }
+func clearBit(bm []uint64, i uint64) { bm[i/wordsPerBitmap] &^= 1 << (i % wordsPerBitmap) }
+
+// Frame returns the host frame mapped at gfn, or NoFrame.
+func (g *GuestPhys) Frame(gfn uint64) uint64 {
+	if gfn >= g.npages {
+		return NoFrame
+	}
+	return g.hfn[gfn]
+}
+
+// Map installs hfn at gfn, replacing (and releasing) any previous frame.
+// The caller transfers its reference on hfn to the GuestPhys.
+func (g *GuestPhys) Map(gfn, hfn uint64) {
+	if gfn >= g.npages {
+		panic(fmt.Sprintf("mem: Map gfn %d beyond %d", gfn, g.npages))
+	}
+	if old := g.hfn[gfn]; old != NoFrame {
+		g.pool.DecRef(old)
+	} else {
+		g.present++
+	}
+	g.hfn[gfn] = hfn
+}
+
+// MapShared installs hfn at gfn as a shared, copy-on-write page. The caller
+// transfers its reference.
+func (g *GuestPhys) MapShared(gfn, hfn uint64) {
+	g.Map(gfn, hfn)
+	setBit(g.cow, gfn)
+}
+
+// MarkCOWIfMapped sets the copy-on-write bit on gfn if it still maps hfn.
+// The dedup scanner uses it to flip the canonical side of a merge to COW
+// without racing a concurrent remap.
+func (g *GuestPhys) MarkCOWIfMapped(gfn, hfn uint64) {
+	if gfn < g.npages && g.hfn[gfn] == hfn {
+		setBit(g.cow, gfn)
+	}
+}
+
+// Unmap removes the mapping at gfn, releasing the frame reference (the
+// balloon path). Subsequent access faults with FaultNotPresent.
+func (g *GuestPhys) Unmap(gfn uint64) {
+	if gfn >= g.npages || g.hfn[gfn] == NoFrame {
+		return
+	}
+	g.pool.DecRef(g.hfn[gfn])
+	g.hfn[gfn] = NoFrame
+	g.present--
+	clearBit(g.cow, gfn)
+	clearBit(g.wprot, gfn)
+}
+
+// Populate demand-allocates a zero frame at gfn if unmapped.
+func (g *GuestPhys) Populate(gfn uint64) error {
+	if gfn >= g.npages {
+		return &Fault{Kind: FaultBeyondRAM, GPA: gfn << isa.PageShift}
+	}
+	if g.hfn[gfn] != NoFrame {
+		return nil
+	}
+	hfn, err := g.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	g.hfn[gfn] = hfn
+	g.present++
+	g.DemandFills++
+	return nil
+}
+
+// PopulateAll eagerly maps every page (boot-time allocation).
+func (g *GuestPhys) PopulateAll() error {
+	for gfn := uint64(0); gfn < g.npages; gfn++ {
+		if err := g.Populate(gfn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteProtect marks gfn so the next write faults with FaultWriteProt (used
+// by the shadow-paging engine to track guest page-table pages, and by
+// pre-copy migration for dirty logging with page-granularity cost).
+func (g *GuestPhys) WriteProtect(gfn uint64, on bool) {
+	if gfn >= g.npages {
+		return
+	}
+	if on {
+		setBit(g.wprot, gfn)
+	} else {
+		clearBit(g.wprot, gfn)
+	}
+}
+
+// WriteProtected reports the write-protect bit of gfn.
+func (g *GuestPhys) WriteProtected(gfn uint64) bool {
+	return gfn < g.npages && bit(g.wprot, gfn)
+}
+
+// Pin marks gfn as non-reclaimable: reclaim and swap policies must skip it.
+// The VMM pins pages whose eviction would fault recursively (page-table
+// pages walked by the MMU, firmware/parameter pages).
+func (g *GuestPhys) Pin(gfn uint64) {
+	if gfn < g.npages {
+		setBit(g.pinned, gfn)
+	}
+}
+
+// Unpin clears the pin.
+func (g *GuestPhys) Unpin(gfn uint64) {
+	if gfn < g.npages {
+		clearBit(g.pinned, gfn)
+	}
+}
+
+// Pinned reports whether gfn is exempt from reclaim.
+func (g *GuestPhys) Pinned(gfn uint64) bool {
+	return gfn < g.npages && bit(g.pinned, gfn)
+}
+
+// IsCOW reports whether gfn currently maps a shared frame.
+func (g *GuestPhys) IsCOW(gfn uint64) bool {
+	return gfn < g.npages && bit(g.cow, gfn)
+}
+
+// Dirty reports the dirty bit of gfn.
+func (g *GuestPhys) Dirty(gfn uint64) bool {
+	return gfn < g.npages && bit(g.dirty, gfn)
+}
+
+// MarkDirty sets the dirty bit explicitly (DMA by device models).
+func (g *GuestPhys) MarkDirty(gfn uint64) {
+	if gfn < g.npages && !bit(g.dirty, gfn) {
+		setBit(g.dirty, gfn)
+		g.DirtySets++
+	}
+}
+
+// CollectDirty appends all dirty gfns to dst, clears their bits, and returns
+// the extended slice. Migration calls this once per pre-copy round.
+func (g *GuestPhys) CollectDirty(dst []uint64) []uint64 {
+	for w, word := range g.dirty {
+		for word != 0 {
+			b := word & -word
+			i := uint64(w*wordsPerBitmap) + uint64(bits.TrailingZeros64(b))
+			if i < g.npages {
+				dst = append(dst, i)
+			}
+			word &^= b
+		}
+		g.dirty[w] = 0
+	}
+	return dst
+}
+
+// DirtyCount returns the number of dirty pages without clearing.
+func (g *GuestPhys) DirtyCount() uint64 {
+	var n uint64
+	for _, w := range g.dirty {
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}
+
+// resolveWrite prepares gfn for writing: presence, write-protection and COW
+// are all checked here, so every store in the machine funnels through one
+// place. It returns the writable hfn.
+func (g *GuestPhys) resolveWrite(gpa uint64) (uint64, *Fault) {
+	gfn := gpa >> isa.PageShift
+	if gfn >= g.npages {
+		return 0, &Fault{Kind: FaultBeyondRAM, GPA: gpa, Access: isa.AccWrite}
+	}
+	if bit(g.wprot, gfn) {
+		return 0, &Fault{Kind: FaultWriteProt, GPA: gpa, Access: isa.AccWrite}
+	}
+	hfn := g.hfn[gfn]
+	if hfn == NoFrame {
+		return 0, &Fault{Kind: FaultNotPresent, GPA: gpa, Access: isa.AccWrite}
+	}
+	if bit(g.cow, gfn) {
+		nfn, err := g.pool.BreakCOW(hfn)
+		if err != nil {
+			// Pool exhausted: surface as not-present so the VMM's overcommit
+			// policy can reclaim and retry.
+			return 0, &Fault{Kind: FaultNotPresent, GPA: gpa, Access: isa.AccWrite}
+		}
+		g.hfn[gfn] = nfn
+		clearBit(g.cow, gfn)
+		g.COWBreaks++
+		hfn = nfn
+	}
+	if !bit(g.dirty, gfn) {
+		setBit(g.dirty, gfn)
+		g.DirtySets++
+	}
+	return hfn, nil
+}
+
+func (g *GuestPhys) resolveRead(gpa uint64, acc isa.Access) (uint64, *Fault) {
+	gfn := gpa >> isa.PageShift
+	if gfn >= g.npages {
+		return 0, &Fault{Kind: FaultBeyondRAM, GPA: gpa, Access: acc}
+	}
+	hfn := g.hfn[gfn]
+	if hfn == NoFrame {
+		return 0, &Fault{Kind: FaultNotPresent, GPA: gpa, Access: acc}
+	}
+	return hfn, nil
+}
+
+// Read copies len(buf) bytes from gpa; the range may span pages.
+func (g *GuestPhys) Read(gpa uint64, buf []byte) *Fault {
+	for len(buf) > 0 {
+		off := int(gpa & isa.PageMask)
+		n := isa.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		hfn, f := g.resolveRead(gpa, isa.AccRead)
+		if f != nil {
+			return f
+		}
+		g.pool.ReadAt(hfn, off, buf[:n])
+		buf = buf[n:]
+		gpa += uint64(n)
+	}
+	return nil
+}
+
+// Write copies buf to gpa; the range may span pages.
+func (g *GuestPhys) Write(gpa uint64, buf []byte) *Fault {
+	for len(buf) > 0 {
+		off := int(gpa & isa.PageMask)
+		n := isa.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		hfn, f := g.resolveWrite(gpa)
+		if f != nil {
+			return f
+		}
+		g.pool.WriteAt(hfn, off, buf[:n])
+		buf = buf[n:]
+		gpa += uint64(n)
+	}
+	return nil
+}
+
+// ReadUint reads a naturally aligned size-byte little-endian value
+// (size ∈ {1,2,4,8}). This is the interpreter's hot load path.
+func (g *GuestPhys) ReadUint(gpa uint64, size int) (uint64, *Fault) {
+	hfn, f := g.resolveRead(gpa, isa.AccRead)
+	if f != nil {
+		return 0, f
+	}
+	data := g.pool.Data(hfn)
+	if data == nil {
+		return 0, nil // zero frame
+	}
+	off := gpa & isa.PageMask
+	switch size {
+	case 1:
+		return uint64(data[off]), nil
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(data[off:])), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(data[off:])), nil
+	default:
+		return binary.LittleEndian.Uint64(data[off:]), nil
+	}
+}
+
+// WriteUint writes a naturally aligned size-byte little-endian value.
+// This is the interpreter's hot store path.
+func (g *GuestPhys) WriteUint(gpa uint64, size int, v uint64) *Fault {
+	hfn, f := g.resolveWrite(gpa)
+	if f != nil {
+		return f
+	}
+	data := g.pool.writable(hfn)
+	off := gpa & isa.PageMask
+	switch size {
+	case 1:
+		data[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(data[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(data[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(data[off:], v)
+	}
+	return nil
+}
+
+// WriteUintPriv is WriteUint for the VMM itself: it bypasses write-protect
+// bits (the VMM emulating a guest store to a tracked page-table page) while
+// still honouring COW and dirty tracking.
+func (g *GuestPhys) WriteUintPriv(gpa uint64, size int, v uint64) *Fault {
+	gfn := gpa >> isa.PageShift
+	wasProt := g.WriteProtected(gfn)
+	if wasProt {
+		clearBit(g.wprot, gfn)
+	}
+	f := g.WriteUint(gpa, size, v)
+	if wasProt {
+		setBit(g.wprot, gfn)
+	}
+	return f
+}
+
+// ReadRaw is Read without fault handling for VMM-internal use (migration,
+// snapshots) where pages are known present; unmapped pages read as zero.
+func (g *GuestPhys) ReadRaw(gfn uint64, buf []byte) {
+	hfn := g.Frame(gfn)
+	if hfn == NoFrame {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return
+	}
+	g.pool.ReadAt(hfn, 0, buf)
+}
+
+// WriteRaw installs page content at gfn, populating if needed, bypassing
+// write-protection and COW semantics (migration restore path). The dirty
+// bit is left untouched.
+func (g *GuestPhys) WriteRaw(gfn uint64, buf []byte) error {
+	if err := g.Populate(gfn); err != nil {
+		return err
+	}
+	hfn := g.hfn[gfn]
+	if g.pool.Shared(hfn) {
+		nfn, err := g.pool.BreakCOW(hfn)
+		if err != nil {
+			return err
+		}
+		g.hfn[gfn] = nfn
+		clearBit(g.cow, gfn)
+	}
+	g.pool.WriteAt(g.hfn[gfn], 0, buf)
+	return nil
+}
+
+// Release returns every frame to the pool (VM teardown).
+func (g *GuestPhys) Release() {
+	for gfn := uint64(0); gfn < g.npages; gfn++ {
+		g.Unmap(gfn)
+	}
+}

@@ -1,0 +1,439 @@
+package mem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"govisor/internal/isa"
+)
+
+func TestPoolAllocFree(t *testing.T) {
+	p := NewPool(4)
+	var hfns []uint64
+	for i := 0; i < 4; i++ {
+		h, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hfns = append(hfns, h)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrOutOfFrames) {
+		t.Fatalf("5th alloc: %v", err)
+	}
+	if p.InUse() != 4 || p.Free() != 0 {
+		t.Fatalf("inUse %d free %d", p.InUse(), p.Free())
+	}
+	p.DecRef(hfns[0])
+	if p.Free() != 1 {
+		t.Fatalf("free after DecRef = %d", p.Free())
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatalf("realloc: %v", err)
+	}
+}
+
+func TestPoolZeroFrameReadsZero(t *testing.T) {
+	p := NewPool(2)
+	h, _ := p.Alloc()
+	buf := []byte{1, 2, 3, 4}
+	p.ReadAt(h, 100, buf)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("fresh frame read %v", buf)
+	}
+	if !p.IsZero(h) {
+		t.Fatal("fresh frame should be zero")
+	}
+}
+
+func TestPoolWriteRead(t *testing.T) {
+	p := NewPool(2)
+	h, _ := p.Alloc()
+	p.WriteAt(h, 8, []byte("hello"))
+	buf := make([]byte, 5)
+	p.ReadAt(h, 8, buf)
+	if string(buf) != "hello" {
+		t.Fatalf("read %q", buf)
+	}
+	if p.IsZero(h) {
+		t.Fatal("written frame should not be zero")
+	}
+}
+
+func TestPoolSharedWritePanics(t *testing.T) {
+	p := NewPool(2)
+	h, _ := p.Alloc()
+	p.IncRef(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write to shared frame should panic")
+		}
+	}()
+	p.WriteAt(h, 0, []byte{1})
+}
+
+func TestPoolBreakCOW(t *testing.T) {
+	p := NewPool(4)
+	h, _ := p.Alloc()
+	p.WriteAt(h, 0, []byte{0xAA})
+	p.IncRef(h) // now shared
+	nfn, err := p.BreakCOW(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nfn == h {
+		t.Fatal("BreakCOW on shared frame returned same frame")
+	}
+	buf := make([]byte, 1)
+	p.ReadAt(nfn, 0, buf)
+	if buf[0] != 0xAA {
+		t.Fatalf("copy lost content: %v", buf)
+	}
+	if p.RefCount(h) != 1 {
+		t.Fatalf("old refcount = %d", p.RefCount(h))
+	}
+	if p.COWBreaks() != 1 {
+		t.Fatalf("cowBreaks = %d", p.COWBreaks())
+	}
+	// Unshared frame: no copy.
+	n2, _ := p.BreakCOW(nfn)
+	if n2 != nfn {
+		t.Fatal("BreakCOW on private frame should be identity")
+	}
+}
+
+func TestPoolShareInto(t *testing.T) {
+	p := NewPool(4)
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	p.WriteAt(a, 0, []byte{7})
+	p.WriteAt(b, 0, []byte{7})
+	got := p.ShareInto(a, b)
+	if got != a {
+		t.Fatalf("canonical = %d", got)
+	}
+	if p.RefCount(a) != 2 {
+		t.Fatalf("refcount = %d", p.RefCount(a))
+	}
+	if p.InUse() != 1 {
+		t.Fatalf("inUse = %d", p.InUse())
+	}
+	if p.Merges() != 1 {
+		t.Fatalf("merges = %d", p.Merges())
+	}
+}
+
+func TestPoolRefCountNeverNegative(t *testing.T) {
+	p := NewPool(1)
+	h, _ := p.Alloc()
+	p.DecRef(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DecRef on free frame should panic")
+		}
+	}()
+	p.DecRef(h)
+}
+
+func newGP(t *testing.T, pages, poolFrames uint64) *GuestPhys {
+	t.Helper()
+	return NewGuestPhys(NewPool(poolFrames), pages*isa.PageSize)
+}
+
+func TestGuestPhysDemandPopulate(t *testing.T) {
+	g := newGP(t, 8, 16)
+	if g.Present() != 0 {
+		t.Fatal("fresh space should be empty")
+	}
+	if f := g.Write(0x10, []byte{1}); f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("write to unmapped: %v", f)
+	}
+	if err := g.Populate(0); err != nil {
+		t.Fatal(err)
+	}
+	if f := g.Write(0x10, []byte{1}); f != nil {
+		t.Fatal(f)
+	}
+	var b [1]byte
+	if f := g.Read(0x10, b[:]); f != nil || b[0] != 1 {
+		t.Fatalf("read back %v %v", b, f)
+	}
+}
+
+func TestGuestPhysBeyondRAM(t *testing.T) {
+	g := newGP(t, 2, 4)
+	if f := g.Read(2*isa.PageSize, make([]byte, 1)); f == nil || f.Kind != FaultBeyondRAM {
+		t.Fatalf("fault = %v", f)
+	}
+	if g.Contains(2 * isa.PageSize) {
+		t.Fatal("Contains out of range")
+	}
+	if !g.Contains(2*isa.PageSize - 1) {
+		t.Fatal("Contains last byte")
+	}
+}
+
+func TestGuestPhysDirtyTracking(t *testing.T) {
+	g := newGP(t, 8, 16)
+	if err := g.PopulateAll(); err != nil {
+		t.Fatal(err)
+	}
+	g.CollectDirty(nil) // clear any population dirt
+	if f := g.WriteUint(3*isa.PageSize+8, 8, 42); f != nil {
+		t.Fatal(f)
+	}
+	if f := g.WriteUint(5*isa.PageSize, 4, 7); f != nil {
+		t.Fatal(f)
+	}
+	if g.DirtyCount() != 2 {
+		t.Fatalf("dirty = %d", g.DirtyCount())
+	}
+	got := g.CollectDirty(nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("dirty gfns = %v", got)
+	}
+	if g.DirtyCount() != 0 {
+		t.Fatal("collect should clear")
+	}
+	// Rewriting the same page dirties again.
+	g.WriteUint(3*isa.PageSize, 8, 1)
+	if !g.Dirty(3) {
+		t.Fatal("page 3 should be dirty again")
+	}
+}
+
+func TestGuestPhysWriteProtect(t *testing.T) {
+	g := newGP(t, 4, 8)
+	g.PopulateAll()
+	g.WriteProtect(1, true)
+	if f := g.WriteUint(isa.PageSize+16, 8, 9); f == nil || f.Kind != FaultWriteProt {
+		t.Fatalf("fault = %v", f)
+	}
+	// Reads still work.
+	if _, f := g.ReadUint(isa.PageSize+16, 8); f != nil {
+		t.Fatal(f)
+	}
+	g.WriteProtect(1, false)
+	if f := g.WriteUint(isa.PageSize+16, 8, 9); f != nil {
+		t.Fatal(f)
+	}
+}
+
+func TestGuestPhysCOWBreakOnWrite(t *testing.T) {
+	pool := NewPool(16)
+	g1 := NewGuestPhys(pool, 2*isa.PageSize)
+	g2 := NewGuestPhys(pool, 2*isa.PageSize)
+	g1.PopulateAll()
+	g1.WriteUint(0, 8, 0x1234)
+
+	// Share g1's page 0 into g2 (what dedup/clone does).
+	h := g1.Frame(0)
+	pool.IncRef(h)
+	g2.MapShared(0, h)
+
+	if !g2.IsCOW(0) {
+		t.Fatal("g2 page 0 should be COW")
+	}
+	v, f := g2.ReadUint(0, 8)
+	if f != nil || v != 0x1234 {
+		t.Fatalf("shared read = %#x, %v", v, f)
+	}
+	// Write breaks sharing; g1 unaffected.
+	if f := g2.WriteUint(0, 8, 0x5678); f != nil {
+		t.Fatal(f)
+	}
+	if g2.IsCOW(0) {
+		t.Fatal("COW bit should clear after break")
+	}
+	if g2.Frame(0) == g1.Frame(0) {
+		t.Fatal("frames should have split")
+	}
+	v1, _ := g1.ReadUint(0, 8)
+	v2, _ := g2.ReadUint(0, 8)
+	if v1 != 0x1234 || v2 != 0x5678 {
+		t.Fatalf("v1=%#x v2=%#x", v1, v2)
+	}
+	if g2.COWBreaks != 1 {
+		t.Fatalf("COWBreaks = %d", g2.COWBreaks)
+	}
+}
+
+func TestGuestPhysUnmapBalloon(t *testing.T) {
+	g := newGP(t, 4, 4)
+	g.PopulateAll()
+	pool := g.Pool()
+	if pool.Free() != 0 {
+		t.Fatalf("free = %d", pool.Free())
+	}
+	g.Unmap(2)
+	if pool.Free() != 1 {
+		t.Fatalf("free after unmap = %d", pool.Free())
+	}
+	if f := g.Read(2*isa.PageSize, make([]byte, 1)); f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("fault = %v", f)
+	}
+	// Repopulating zeroes the page.
+	g.Populate(2)
+	v, _ := g.ReadUint(2*isa.PageSize, 8)
+	if v != 0 {
+		t.Fatalf("repopulated page not zero: %#x", v)
+	}
+}
+
+func TestGuestPhysReadWriteSpanningPages(t *testing.T) {
+	g := newGP(t, 2, 4)
+	g.PopulateAll()
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := uint64(isa.PageSize - 50)
+	if f := g.Write(start, data); f != nil {
+		t.Fatal(f)
+	}
+	got := make([]byte, 100)
+	if f := g.Read(start, got); f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("span mismatch")
+	}
+	if !g.Dirty(0) || !g.Dirty(1) {
+		t.Fatal("both spanned pages should be dirty")
+	}
+}
+
+func TestGuestPhysReadWriteUintWidths(t *testing.T) {
+	g := newGP(t, 1, 2)
+	g.PopulateAll()
+	for _, size := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if size == 8 {
+			want = 0x1122334455667788
+		}
+		if f := g.WriteUint(64, size, want); f != nil {
+			t.Fatal(f)
+		}
+		got, f := g.ReadUint(64, size)
+		if f != nil || got != want {
+			t.Fatalf("size %d: got %#x want %#x (%v)", size, got, want, f)
+		}
+	}
+}
+
+func TestGuestPhysRawRoundTrip(t *testing.T) {
+	g := newGP(t, 4, 8)
+	page := make([]byte, isa.PageSize)
+	for i := range page {
+		page[i] = byte(i * 7)
+	}
+	if err := g.WriteRaw(3, page); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, isa.PageSize)
+	g.ReadRaw(3, got)
+	if !bytes.Equal(page, got) {
+		t.Fatal("raw round trip mismatch")
+	}
+	// Unmapped page reads as zeros.
+	g.ReadRaw(1, got)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unmapped ReadRaw not zero")
+		}
+	}
+}
+
+func TestGuestPhysWriteRawBypassesWP(t *testing.T) {
+	g := newGP(t, 2, 4)
+	g.PopulateAll()
+	g.WriteProtect(0, true)
+	page := make([]byte, isa.PageSize)
+	page[0] = 0xFF
+	if err := g.WriteRaw(0, page); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.ReadUint(0, 1)
+	if v != 0xFF {
+		t.Fatalf("WriteRaw did not land: %#x", v)
+	}
+}
+
+func TestGuestPhysRelease(t *testing.T) {
+	pool := NewPool(8)
+	g := NewGuestPhys(pool, 8*isa.PageSize)
+	g.PopulateAll()
+	g.Release()
+	if pool.InUse() != 0 {
+		t.Fatalf("inUse after release = %d", pool.InUse())
+	}
+	if g.Present() != 0 {
+		t.Fatalf("present = %d", g.Present())
+	}
+}
+
+// Property: for any sequence of aligned writes, reads return the last value
+// written, dirty bits cover exactly the written pages.
+func TestGuestPhysWriteReadProperty(t *testing.T) {
+	f := func(ops []struct {
+		Page uint8
+		Off  uint16
+		Val  uint64
+	}) bool {
+		g := newGP(t, 16, 32)
+		g.PopulateAll()
+		g.CollectDirty(nil)
+		shadow := map[uint64]uint64{}
+		for _, op := range ops {
+			gpa := uint64(op.Page%16)*isa.PageSize + uint64(op.Off%(isa.PageSize/8))*8
+			if f := g.WriteUint(gpa, 8, op.Val); f != nil {
+				return false
+			}
+			shadow[gpa] = op.Val
+		}
+		for gpa, want := range shadow {
+			got, fault := g.ReadUint(gpa, 8)
+			if fault != nil || got != want {
+				return false
+			}
+			if !g.Dirty(gpa >> isa.PageShift) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectDirtyMatchesCount(t *testing.T) {
+	f := func(pages []uint8) bool {
+		g := newGP(t, 64, 128)
+		g.PopulateAll()
+		g.CollectDirty(nil)
+		want := map[uint64]bool{}
+		for _, p := range pages {
+			gfn := uint64(p % 64)
+			g.WriteUint(gfn*isa.PageSize, 8, 1)
+			want[gfn] = true
+		}
+		if g.DirtyCount() != uint64(len(want)) {
+			return false
+		}
+		got := g.CollectDirty(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, gfn := range got {
+			if !want[gfn] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package mem provides the memory substrate of the simulated machine: a host
+// physical frame pool shared by all VMs on a host, and per-VM guest-physical
+// address spaces mapped onto it.
+//
+// The pool supports reference-counted frame sharing, which is the foundation
+// for content-based page deduplication (internal/ksm), copy-on-write VM
+// cloning (internal/snapshot) and ballooning (internal/balloon). Frames are
+// allocated lazily: a frame with no backing storage reads as zeros, so
+// freshly booted VMs cost no host memory for untouched pages — mirroring how
+// a real hypervisor demand-populates guest RAM.
+package mem
+
+import (
+	"errors"
+	"fmt"
+
+	"govisor/internal/isa"
+)
+
+// ErrOutOfFrames is returned when the host pool is exhausted. Overcommit
+// policies (ballooning, dedup) exist to avoid hitting it.
+var ErrOutOfFrames = errors.New("mem: host frame pool exhausted")
+
+// NoFrame is the sentinel host frame number for "unmapped".
+const NoFrame = ^uint64(0)
+
+// Pool is a host physical memory: a fixed budget of 4 KiB frames with
+// per-frame reference counts. Frame numbers are dense small integers, so
+// the hot paths (every guest load/store resolves a frame) are slice
+// lookups, not map probes.
+type Pool struct {
+	capacity uint64
+	frames   [][]byte // hfn → backing bytes; nil ⇒ logically zero or free
+	refcnt   []uint32
+	free     []uint64 // recycled hfns
+	inUse    uint64   // frames with refcnt > 0
+
+	// Stats.
+	allocs, frees, cowBreaks, sharedMerges uint64
+}
+
+// NewPool creates a host pool with the given capacity in frames.
+func NewPool(capacityFrames uint64) *Pool {
+	return &Pool{capacity: capacityFrames}
+}
+
+// Capacity returns the pool size in frames.
+func (p *Pool) Capacity() uint64 { return p.capacity }
+
+// InUse returns the number of live (refcnt > 0) frames.
+func (p *Pool) InUse() uint64 { return p.inUse }
+
+// Free returns the number of frames still allocatable.
+func (p *Pool) Free() uint64 { return p.capacity - p.inUse }
+
+// COWBreaks returns how many copy-on-write splits the pool has performed.
+func (p *Pool) COWBreaks() uint64 { return p.cowBreaks }
+
+// Merges returns how many frames have been merged by sharing.
+func (p *Pool) Merges() uint64 { return p.sharedMerges }
+
+// Alloc reserves a zero-filled frame and returns its frame number.
+func (p *Pool) Alloc() (uint64, error) {
+	if p.inUse >= p.capacity {
+		return NoFrame, ErrOutOfFrames
+	}
+	var hfn uint64
+	if n := len(p.free); n > 0 {
+		hfn = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		hfn = uint64(len(p.frames))
+		p.frames = append(p.frames, nil)
+		p.refcnt = append(p.refcnt, 0)
+	}
+	p.refcnt[hfn] = 1
+	p.inUse++
+	p.allocs++
+	return hfn, nil
+}
+
+func (p *Pool) rc(hfn uint64) uint32 {
+	if hfn >= uint64(len(p.refcnt)) {
+		return 0
+	}
+	return p.refcnt[hfn]
+}
+
+// IncRef adds a reference to hfn (sharing).
+func (p *Pool) IncRef(hfn uint64) {
+	if p.rc(hfn) == 0 {
+		panic(fmt.Sprintf("mem: IncRef on free frame %d", hfn))
+	}
+	p.refcnt[hfn]++
+}
+
+// DecRef drops a reference; the frame is freed when the count reaches zero.
+func (p *Pool) DecRef(hfn uint64) {
+	rc := p.rc(hfn)
+	if rc == 0 {
+		panic(fmt.Sprintf("mem: DecRef on free frame %d", hfn))
+	}
+	if rc == 1 {
+		p.refcnt[hfn] = 0
+		p.frames[hfn] = nil
+		p.free = append(p.free, hfn)
+		p.inUse--
+		p.frees++
+		return
+	}
+	p.refcnt[hfn] = rc - 1
+}
+
+// RefCount returns the current reference count of hfn (0 if free).
+func (p *Pool) RefCount(hfn uint64) uint32 { return p.rc(hfn) }
+
+// Shared reports whether hfn is mapped by more than one user.
+func (p *Pool) Shared(hfn uint64) bool { return p.rc(hfn) > 1 }
+
+// Data returns the backing bytes of hfn for reading, or nil if the frame is
+// logically zero. Callers must not mutate the returned slice.
+func (p *Pool) Data(hfn uint64) []byte {
+	if hfn >= uint64(len(p.frames)) {
+		return nil
+	}
+	return p.frames[hfn]
+}
+
+// writable returns a materialized, mutable backing array for hfn.
+func (p *Pool) writable(hfn uint64) []byte {
+	b := p.frames[hfn]
+	if b == nil {
+		b = make([]byte, isa.PageSize)
+		p.frames[hfn] = b
+	}
+	return b
+}
+
+// ReadAt copies frame contents at off into buf. Zero frames read as zeros.
+func (p *Pool) ReadAt(hfn uint64, off int, buf []byte) {
+	if b := p.Data(hfn); b != nil {
+		copy(buf, b[off:])
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+// WriteAt copies buf into the frame at off. The caller must have resolved
+// sharing first (see BreakCOW); writing a shared frame panics, because it
+// would corrupt other VMs.
+func (p *Pool) WriteAt(hfn uint64, off int, buf []byte) {
+	if p.rc(hfn) > 1 {
+		panic(fmt.Sprintf("mem: write to shared frame %d without COW break", hfn))
+	}
+	copy(p.writable(hfn)[off:], buf)
+}
+
+// BreakCOW gives the caller a private copy of hfn: if the frame is shared, a
+// new frame is allocated, the contents copied, and the old reference
+// dropped. It returns the (possibly new) frame number.
+func (p *Pool) BreakCOW(hfn uint64) (uint64, error) {
+	if p.rc(hfn) <= 1 {
+		return hfn, nil
+	}
+	nfn, err := p.Alloc()
+	if err != nil {
+		return NoFrame, err
+	}
+	if src := p.frames[hfn]; src != nil {
+		copy(p.writable(nfn), src)
+	}
+	p.DecRef(hfn)
+	p.cowBreaks++
+	return nfn, nil
+}
+
+// ShareInto replaces victim with canonical: callers (the dedup scanner)
+// guarantee both frames hold identical content. The victim's reference moves
+// to canonical and the victim frame is freed. Returns the canonical hfn.
+func (p *Pool) ShareInto(canonical, victim uint64) uint64 {
+	if canonical == victim {
+		return canonical
+	}
+	p.IncRef(canonical)
+	p.DecRef(victim)
+	p.sharedMerges++
+	return canonical
+}
+
+// IsZero reports whether the frame currently holds all-zero content.
+func (p *Pool) IsZero(hfn uint64) bool {
+	b := p.Data(hfn)
+	if b == nil {
+		return true
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should read zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 50 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0.99); q != 99 {
+		t.Fatalf("p99 = %v", q)
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.String() == "" {
+		t.Fatal("String")
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Observe(1)
+	_ = h.Quantile(0.5) // sorts
+	h.Observe(2)        // must re-sort lazily
+	if h.Quantile(0.5) != 2 {
+		t.Fatalf("p50 = %v", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramStddev(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	if got := h.Stddev(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestHistogramQuantileMonotonicProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		last := h.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < last {
+				return false
+			}
+			last = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("all zero")
+	}
+	if j := JainIndex([]float64{5, 5, 5, 5}); math.Abs(j-1.0) > 1e-12 {
+		t.Fatalf("equal shares = %v", j)
+	}
+	// One party hogging everything among n → 1/n.
+	if j := JainIndex([]float64{10, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("monopoly = %v", j)
+	}
+}
+
+func TestJainBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		shares := make([]float64, len(raw))
+		nonzero := false
+		for i, v := range raw {
+			shares[i] = float64(v)
+			if v != 0 {
+				nonzero = true
+			}
+		}
+		j := JainIndex(shares)
+		if !nonzero {
+			return j == 0
+		}
+		return j >= 1.0/float64(len(shares))-1e-9 && j <= 1.0+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRowv("beta-longer", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-longer") {
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float formatting:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every line at least as long as the header names.
+	if len(lines[1]) < len("name") {
+		t.Fatal("rule too short")
+	}
+}

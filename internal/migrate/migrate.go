@@ -1,0 +1,309 @@
+// Package migrate implements live migration of govisor VMs: iterative
+// pre-copy with dirty-page tracking (the NSDI'05 design), stop-and-copy as
+// the baseline, and post-copy with demand paging over a simulated
+// rate-limited link. Experiments F7 (downtime vs dirty rate) and F8
+// (pre-copy convergence) run on top of it.
+//
+// Time is simulated: transferring N bytes over the link costs
+// N·CyclesPerSecond⁄BytesPerSec guest cycles, and during pre-copy rounds the
+// source guest keeps executing for exactly the cycles the transfer takes —
+// the interleaving that makes convergence a race between link rate and
+// dirty rate.
+package migrate
+
+import (
+	"fmt"
+
+	"govisor/internal/core"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/vcpu"
+)
+
+// Link models the migration channel.
+type Link struct {
+	BytesPerSec uint64 // sustained throughput
+	RTTCycles   uint64 // round-trip latency (post-copy page pulls)
+}
+
+// Gbps builds a link of the given gigabits per second with the given RTT in
+// microseconds.
+func Gbps(gbits float64, rttMicros uint64) Link {
+	return Link{
+		BytesPerSec: uint64(gbits * 1e9 / 8),
+		RTTCycles:   rttMicros * (vcpu.CyclesPerSecond / 1_000_000),
+	}
+}
+
+// TxCycles returns the cycles needed to push n bytes through the link.
+func (l Link) TxCycles(n uint64) uint64 {
+	if l.BytesPerSec == 0 {
+		return 0
+	}
+	return n * vcpu.CyclesPerSecond / l.BytesPerSec
+}
+
+// pageWireSize is a page plus header overhead on the wire.
+const pageWireSize = isa.PageSize + 16
+
+// cpuStateWireSize approximates the architectural state transfer.
+const cpuStateWireSize = 1024
+
+// Mode selects the migration algorithm.
+type Mode uint8
+
+// Migration modes.
+const (
+	PreCopy Mode = iota
+	StopAndCopy
+	PostCopy
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case PreCopy:
+		return "pre-copy"
+	case StopAndCopy:
+		return "stop-and-copy"
+	case PostCopy:
+		return "post-copy"
+	}
+	return "mode?"
+}
+
+// Options configures a migration.
+type Options struct {
+	Mode Mode
+	Link Link
+	// MaxRounds bounds pre-copy iterations before forcing stop-and-copy.
+	MaxRounds int
+	// StopThresholdPages ends pre-copy early once a round's dirty set is
+	// this small.
+	StopThresholdPages uint64
+	// PostCopyPushChunk is how many background pages the source pushes
+	// between destination execution slices (0 ⇒ demand-only).
+	PostCopyPushChunk int
+}
+
+// DefaultOptions returns pre-copy over a 10 Gb link with Xen-like bounds.
+func DefaultOptions() Options {
+	return Options{
+		Mode:               PreCopy,
+		Link:               Gbps(10, 50),
+		MaxRounds:          30,
+		StopThresholdPages: 64,
+	}
+}
+
+// Round records one pre-copy iteration.
+type Round struct {
+	Pages  uint64
+	Cycles uint64
+}
+
+// Report is the outcome of a migration.
+type Report struct {
+	Mode           Mode
+	TotalCycles    uint64 // wall time from start to destination running
+	DowntimeCycles uint64 // guest paused (brown-out) time
+	BytesSent      uint64
+	Rounds         []Round
+	RemoteFills    uint64 // post-copy demand fetches
+	Converged      bool   // pre-copy reached the threshold before MaxRounds
+}
+
+// Migrate moves the running guest in src to dst. dst must be a freshly
+// created VM (same config and devices) that has not been booted. On return
+// dst is running and src is paused.
+func Migrate(src, dst *core.VM, opt Options) (Report, error) {
+	if src.State != core.StateRunning && src.State != core.StateIdle {
+		return Report{}, fmt.Errorf("migrate: source is %v", src.State)
+	}
+	if dst.State != core.StateCreated {
+		return Report{}, fmt.Errorf("migrate: destination is %v", dst.State)
+	}
+	if dst.Mem.Pages() < src.Mem.Pages() {
+		return Report{}, fmt.Errorf("migrate: destination RAM too small")
+	}
+	switch opt.Mode {
+	case PreCopy:
+		return preCopy(src, dst, opt)
+	case StopAndCopy:
+		return stopAndCopy(src, dst, opt)
+	case PostCopy:
+		return postCopy(src, dst, opt)
+	}
+	return Report{}, fmt.Errorf("migrate: unknown mode %d", opt.Mode)
+}
+
+// sendPages transfers the given source pages into dst, running the source
+// guest concurrently when interleave is true. It returns the transfer
+// cycles.
+func sendPages(src, dst *core.VM, gfns []uint64, link Link, interleave bool, rep *Report) (uint64, error) {
+	if len(gfns) == 0 {
+		return 0, nil
+	}
+	buf := make([]byte, isa.PageSize)
+	var cycles uint64
+	for _, gfn := range gfns {
+		src.Mem.ReadRaw(gfn, buf)
+		if err := dst.Mem.WriteRaw(gfn, buf); err != nil {
+			return cycles, fmt.Errorf("migrate: writing gfn %d: %w", gfn, err)
+		}
+		cycles += link.TxCycles(pageWireSize)
+		rep.BytesSent += pageWireSize
+	}
+	if interleave && src.State == core.StateRunning {
+		src.Step(cycles)
+	} else {
+		// Guest paused: the time still elapses on the wall clock.
+		src.CPU.Cycles += cycles
+	}
+	return cycles, nil
+}
+
+func presentPages(vm *core.VM) []uint64 {
+	out := make([]uint64, 0, vm.Mem.Present())
+	for gfn := uint64(0); gfn < vm.Mem.Pages(); gfn++ {
+		if vm.Mem.Frame(gfn) != mem.NoFrame {
+			out = append(out, gfn)
+		}
+	}
+	return out
+}
+
+func preCopy(src, dst *core.VM, opt Options) (Report, error) {
+	rep := Report{Mode: PreCopy}
+	// Round 0: clear the dirty log and send every present page while the
+	// guest keeps running.
+	src.Mem.CollectDirty(nil)
+	all := presentPages(src)
+	c, err := sendPages(src, dst, all, opt.Link, true, &rep)
+	if err != nil {
+		return rep, err
+	}
+	rep.TotalCycles += c
+	rep.Rounds = append(rep.Rounds, Round{Pages: uint64(len(all)), Cycles: c})
+
+	// Iterative rounds: resend what got dirtied while we were sending.
+	// The convergence check peeks at the dirty count without clearing it,
+	// so the residue is still logged for the final brown-out transfer.
+	var dirty []uint64
+	for round := 1; round <= opt.MaxRounds; round++ {
+		if src.Mem.DirtyCount() <= opt.StopThresholdPages {
+			rep.Converged = true
+			break
+		}
+		dirty = src.Mem.CollectDirty(dirty[:0])
+		c, err := sendPages(src, dst, dirty, opt.Link, true, &rep)
+		if err != nil {
+			return rep, err
+		}
+		rep.TotalCycles += c
+		rep.Rounds = append(rep.Rounds, Round{Pages: uint64(len(dirty)), Cycles: c})
+	}
+
+	// Brown-out: pause, send the final dirty set + CPU state, switch over.
+	src.Pause()
+	dirty = src.Mem.CollectDirty(dirty[:0])
+	c, err = sendPages(src, dst, dirty, opt.Link, false, &rep)
+	if err != nil {
+		return rep, err
+	}
+	c += opt.Link.TxCycles(cpuStateWireSize)
+	rep.BytesSent += cpuStateWireSize
+	rep.DowntimeCycles = c
+	rep.TotalCycles += c
+	rep.Rounds = append(rep.Rounds, Round{Pages: uint64(len(dirty)), Cycles: c})
+
+	dst.AdoptState(src)
+	dst.CPU.Cycles += c // the destination clock absorbs the downtime
+	return rep, nil
+}
+
+func stopAndCopy(src, dst *core.VM, opt Options) (Report, error) {
+	rep := Report{Mode: StopAndCopy, Converged: true}
+	src.Pause()
+	all := presentPages(src)
+	c, err := sendPages(src, dst, all, opt.Link, false, &rep)
+	if err != nil {
+		return rep, err
+	}
+	c += opt.Link.TxCycles(cpuStateWireSize)
+	rep.BytesSent += cpuStateWireSize
+	rep.Rounds = append(rep.Rounds, Round{Pages: uint64(len(all)), Cycles: c})
+	rep.DowntimeCycles = c
+	rep.TotalCycles = c
+	dst.AdoptState(src)
+	dst.CPU.Cycles += c
+	return rep, nil
+}
+
+func postCopy(src, dst *core.VM, opt Options) (Report, error) {
+	rep := Report{Mode: PostCopy, Converged: true}
+	src.Pause()
+
+	// Switchover immediately: only the CPU state crosses during downtime.
+	c := opt.Link.TxCycles(cpuStateWireSize)
+	rep.BytesSent += cpuStateWireSize
+	rep.DowntimeCycles = c
+	rep.TotalCycles = c
+	dst.AdoptState(src)
+	dst.CPU.Cycles += c
+
+	// Demand path: every not-present fault on the destination pulls the
+	// page from the source, paying RTT + transfer.
+	sent := make(map[uint64]bool)
+	buf := make([]byte, isa.PageSize)
+	dst.PageSource = func(gfn uint64) ([]byte, bool) {
+		if sent[gfn] {
+			return nil, false // already pushed: plain demand-zero fill
+		}
+		if src.Mem.Frame(gfn) == mem.NoFrame {
+			return nil, false
+		}
+		src.Mem.ReadRaw(gfn, buf)
+		sent[gfn] = true
+		cost := opt.Link.RTTCycles + opt.Link.TxCycles(pageWireSize)
+		dst.CPU.AddCycles(cost)
+		rep.BytesSent += pageWireSize
+		rep.RemoteFills++
+		page := make([]byte, isa.PageSize)
+		copy(page, buf)
+		return page, true
+	}
+
+	// Background push: interleave destination execution with proactive
+	// transfers until every source page has landed.
+	if opt.PostCopyPushChunk > 0 {
+		remaining := presentPages(src)
+		for len(remaining) > 0 {
+			chunk := opt.PostCopyPushChunk
+			if chunk > len(remaining) {
+				chunk = len(remaining)
+			}
+			var pushed uint64
+			for _, gfn := range remaining[:chunk] {
+				if sent[gfn] {
+					continue
+				}
+				src.Mem.ReadRaw(gfn, buf)
+				if err := dst.Mem.WriteRaw(gfn, buf); err != nil {
+					return rep, err
+				}
+				sent[gfn] = true
+				pushed += pageWireSize
+				rep.BytesSent += pageWireSize
+			}
+			remaining = remaining[chunk:]
+			cost := opt.Link.TxCycles(pushed)
+			rep.TotalCycles += cost
+			if dst.State == core.StateRunning {
+				dst.Step(cost)
+			}
+		}
+		dst.PageSource = nil
+	}
+	return rep, nil
+}

@@ -1,0 +1,260 @@
+package mmu
+
+import (
+	"fmt"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/tlb"
+)
+
+// Style selects how the vCPU's translations are produced. It is the memory
+// half of the virtualization style triad (the privilege half lives in
+// internal/vcpu):
+//
+//   - StyleDirect: the hardware walker walks the tables SATP points at.
+//     Used by the native baseline and by paravirtual direct paging, where
+//     guest tables are pre-validated by the VMM.
+//   - StyleShadow: translations come from VMM-derived shadow tables; a miss
+//     suspends the guest (FaultShadowMiss) so the VMM can fill.
+//   - StyleNested: the walker walks guest tables, but every step pays the
+//     two-dimensional cost of translating guest-physical table pointers
+//     through the nested tables ((g+1)·(n+1)−1 references for a full walk).
+type Style uint8
+
+// Translation styles.
+const (
+	StyleDirect Style = iota
+	StyleShadow
+	StyleNested
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleDirect:
+		return "direct"
+	case StyleShadow:
+		return "shadow"
+	case StyleNested:
+		return "nested"
+	}
+	return "style?"
+}
+
+// FaultKind classifies translation failures.
+type FaultKind uint8
+
+// Translation fault kinds.
+const (
+	// FaultGuest is an architectural page fault delivered to the guest
+	// (invalid PTE, permission violation, non-canonical address).
+	FaultGuest FaultKind = iota
+	// FaultShadowMiss suspends to the VMM to fill the shadow tables; the
+	// guest never observes it.
+	FaultShadowMiss
+	// FaultHost is a guest-physical failure underneath the walk or the
+	// access itself (page not present in the host, write-protected by the
+	// VMM); the VMM resolves and retries.
+	FaultHost
+)
+
+// Fault describes a failed translation.
+type Fault struct {
+	Kind  FaultKind
+	Cause uint64     // guest trap cause (FaultGuest)
+	VA    uint64     // faulting virtual address
+	Mem   *mem.Fault // underlying host fault (FaultHost)
+}
+
+func (f *Fault) Error() string {
+	switch f.Kind {
+	case FaultGuest:
+		return fmt.Sprintf("mmu: guest page fault %s at va %#x", isa.CauseName(f.Cause), f.VA)
+	case FaultShadowMiss:
+		return fmt.Sprintf("mmu: shadow miss at va %#x", f.VA)
+	default:
+		return fmt.Sprintf("mmu: host fault at va %#x: %v", f.VA, f.Mem)
+	}
+}
+
+// Stats counts translation activity for the experiments.
+type Stats struct {
+	Translations uint64
+	Walks        uint64
+	WalkRefs     uint64 // 1-D page-table references
+	NestedRefs   uint64 // additional references paid to the nested dimension
+	GuestFaults  uint64
+	ShadowMisses uint64
+}
+
+// Context is one vCPU's translation state.
+type Context struct {
+	Mem    *mem.GuestPhys
+	TLB    *tlb.TLB
+	Style  Style
+	Shadow *Engine // required iff Style == StyleShadow
+
+	// NestedLevels is the depth of the nested (gPA→hPA) tables in the cost
+	// model; 0 disables the 2-D surcharge even in StyleNested.
+	NestedLevels int
+
+	// UseASID keeps TLB entries alive across address-space switches by
+	// tagging them; when false, every SATP write flushes the whole TLB
+	// (ablation A2).
+	UseASID bool
+
+	Satp  uint64
+	Stats Stats
+}
+
+// NewContext builds a context with the default TLB geometry.
+func NewContext(m *mem.GuestPhys, style Style) *Context {
+	c := &Context{
+		Mem:          m,
+		TLB:          tlb.NewDefault(),
+		Style:        style,
+		NestedLevels: isa.PTLevels,
+		UseASID:      true,
+	}
+	if style == StyleShadow {
+		c.Shadow = NewEngine(m)
+	}
+	return c
+}
+
+func (c *Context) asid() uint16 {
+	if !c.UseASID {
+		return 0
+	}
+	return isa.SatpASID(c.Satp)
+}
+
+// SetSatp installs a new SATP value, performing the architectural TLB
+// maintenance (full flush when ASIDs are off; nothing otherwise, entries are
+// tagged).
+func (c *Context) SetSatp(satp uint64) {
+	c.Satp = satp
+	if !c.UseASID {
+		c.TLB.FlushAll()
+	}
+}
+
+// Flush implements SFENCE.VMA semantics: va==0 flushes the address space
+// (or everything without ASIDs), otherwise one page.
+func (c *Context) Flush(va uint64, asid uint16) {
+	switch {
+	case va == 0 && (asid == 0 || !c.UseASID):
+		c.TLB.FlushAll()
+	case va == 0:
+		c.TLB.FlushASID(asid)
+	default:
+		c.TLB.FlushPage(c.asid(), va)
+	}
+	if c.Shadow != nil {
+		root := isa.SatpPPN(c.Satp)
+		if va == 0 {
+			c.Shadow.FlushSpace(root)
+		} else {
+			c.Shadow.FlushVA(root, va)
+		}
+	}
+}
+
+// Enabled reports whether paged translation is active.
+func (c *Context) Enabled() bool { return isa.SatpMode(c.Satp) == isa.SatpModePaged }
+
+// Translate maps va to a guest-physical address for the given access from
+// the given (virtual) privilege. It returns the number of page-table memory
+// references the access cost, which the interpreter converts to cycles.
+func (c *Context) Translate(va uint64, acc isa.Access, userMode bool) (gpa uint64, refs int, fault *Fault) {
+	c.Stats.Translations++
+	if !c.Enabled() {
+		return va, 0, nil
+	}
+	asid := c.asid()
+	if e, ok := c.TLB.Lookup(asid, va); ok {
+		if f := c.checkTLBPerms(e.Perms, acc, userMode, va); f != nil {
+			return 0, 0, f
+		}
+		return e.PPN<<isa.PageShift | va&isa.PageMask, 0, nil
+	}
+
+	switch c.Style {
+	case StyleShadow:
+		return c.translateShadow(va, acc, userMode, asid)
+	default:
+		return c.translateWalk(va, acc, userMode, asid)
+	}
+}
+
+func (c *Context) checkTLBPerms(perms uint8, acc isa.Access, userMode bool, va uint64) *Fault {
+	if userMode && perms&tlb.PermU == 0 {
+		return c.guestFault(acc, va)
+	}
+	var need uint8
+	switch acc {
+	case isa.AccRead:
+		need = tlb.PermR
+	case isa.AccWrite:
+		need = tlb.PermW
+	default:
+		need = tlb.PermX
+	}
+	if perms&need == 0 {
+		return c.guestFault(acc, va)
+	}
+	return nil
+}
+
+func (c *Context) guestFault(acc isa.Access, va uint64) *Fault {
+	c.Stats.GuestFaults++
+	return &Fault{Kind: FaultGuest, Cause: isa.PageFaultCause(acc), VA: va}
+}
+
+func (c *Context) translateWalk(va uint64, acc isa.Access, userMode bool, asid uint16) (uint64, int, *Fault) {
+	c.Stats.Walks++
+	wr, werr := Walk(c.Mem, isa.SatpPPN(c.Satp), va)
+	refs := wr.Refs
+	if c.Style == StyleNested {
+		// Each guest PTE reference is itself translated through the nested
+		// tables, and the final guest-physical address pays one more nested
+		// walk: (g+1)(n+1)−1 total references for a full 2-D walk.
+		extra := (wr.Refs + 1) * c.NestedLevels
+		refs += extra
+		c.Stats.NestedRefs += uint64(extra)
+	}
+	c.Stats.WalkRefs += uint64(wr.Refs)
+	if werr != nil {
+		if werr.Fault != nil {
+			return 0, refs, &Fault{Kind: FaultHost, VA: va, Mem: werr.Fault}
+		}
+		return 0, refs, c.guestFault(acc, va)
+	}
+	if PermError(wr.PTE, acc, userMode) {
+		return 0, refs, c.guestFault(acc, va)
+	}
+	gpa := wr.GPA
+	c.TLB.Insert(asid, va, gpa>>isa.PageShift, tlb.PermsFromPTE(wr.PTE), wr.PTE&isa.PTEGlobal != 0)
+	return gpa, refs, nil
+}
+
+func (c *Context) translateShadow(va uint64, acc isa.Access, userMode bool, asid uint16) (uint64, int, *Fault) {
+	root := isa.SatpPPN(c.Satp)
+	e, ok := c.Shadow.Lookup(root, va)
+	if !ok {
+		c.Stats.ShadowMisses++
+		return 0, 0, &Fault{Kind: FaultShadowMiss, VA: va}
+	}
+	// Walking the shadow tables costs the same as a 1-D walk: that is the
+	// architectural benefit of shadow paging over nested paging.
+	refs := isa.PTLevels
+	c.Stats.Walks++
+	c.Stats.WalkRefs += uint64(refs)
+	if f := c.checkTLBPerms(e.Perms, acc, userMode, va); f != nil {
+		return 0, refs, f
+	}
+	gpa := e.PPN<<isa.PageShift | va&isa.PageMask
+	c.TLB.Insert(asid, va, e.PPN, e.Perms, e.Global)
+	return gpa, refs, nil
+}

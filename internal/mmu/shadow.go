@@ -1,0 +1,200 @@
+package mmu
+
+import (
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/tlb"
+)
+
+// Engine is the shadow-paging engine of the trap-and-emulate VMM.
+//
+// The guest maintains its own page tables and believes the hardware walks
+// them; in reality the VMM derives shadow translations on demand (Fill) and
+// keeps them coherent by write-protecting every guest page-table page a
+// shadow entry was derived through. A guest store to a protected page traps
+// to the VMM, which emulates the store and invalidates the derived entries
+// (InvalidatePTWrite) — the classic VMware/Disco design, with one shadow
+// space cached per guest root so address-space switches don't rebuild from
+// scratch.
+type Engine struct {
+	g      *mem.GuestPhys
+	spaces map[uint64]*shadowSpace
+	// ptUsers maps a guest page-table gfn to the roots whose shadow space
+	// derived entries through it.
+	ptUsers map[uint64]map[uint64]struct{}
+	Stats   EngineStats
+}
+
+// EngineStats counts shadow-engine activity.
+type EngineStats struct {
+	Fills         uint64 // shadow misses resolved by walking guest tables
+	FillRefs      uint64 // guest PTEs read during fills
+	WPInstalls    uint64 // page-table pages newly write-protected
+	PTWriteTraps  uint64 // guest writes to protected PT pages
+	Invalidations uint64 // shadow entries dropped by PT writes
+	SpaceFlushes  uint64
+	Spaces        uint64 // live shadow spaces (gauge)
+}
+
+// ShadowEntry is one derived translation.
+type ShadowEntry struct {
+	PPN    uint64
+	Perms  uint8
+	Global bool
+}
+
+type shadowSpace struct {
+	root    uint64
+	entries map[uint64]ShadowEntry // vpn → entry
+	derived map[uint64][]uint64    // guest PT gfn → vpns derived through it
+}
+
+// NewEngine creates a shadow engine over g.
+func NewEngine(g *mem.GuestPhys) *Engine {
+	return &Engine{
+		g:       g,
+		spaces:  make(map[uint64]*shadowSpace),
+		ptUsers: make(map[uint64]map[uint64]struct{}),
+	}
+}
+
+func (e *Engine) space(root uint64) *shadowSpace {
+	s := e.spaces[root]
+	if s == nil {
+		s = &shadowSpace{
+			root:    root,
+			entries: make(map[uint64]ShadowEntry),
+			derived: make(map[uint64][]uint64),
+		}
+		e.spaces[root] = s
+		e.Stats.Spaces++
+	}
+	return s
+}
+
+// Lookup finds a derived translation for va under the guest root.
+func (e *Engine) Lookup(root, va uint64) (ShadowEntry, bool) {
+	s := e.spaces[root]
+	if s == nil {
+		return ShadowEntry{}, false
+	}
+	ent, ok := s.entries[va>>isa.PageShift]
+	return ent, ok
+}
+
+// Fill resolves a shadow miss: it walks the guest tables for va, installs a
+// derived entry, and write-protects the table pages it walked through.
+// It returns the guest PTE refs consumed (charged as VMM emulation work).
+// A *Fault of kind FaultGuest means the guest's own tables do not map va and
+// the VMM must inject a page fault; FaultHost escalates host-level problems.
+func (e *Engine) Fill(root, va uint64, acc isa.Access, userMode bool) (refs int, fault *Fault) {
+	wr, werr := Walk(e.g, root, va)
+	if werr != nil {
+		if werr.Fault != nil {
+			return wr.Refs, &Fault{Kind: FaultHost, VA: va, Mem: werr.Fault}
+		}
+		return wr.Refs, &Fault{Kind: FaultGuest, Cause: isa.PageFaultCause(acc), VA: va}
+	}
+	if PermError(wr.PTE, acc, userMode) {
+		return wr.Refs, &Fault{Kind: FaultGuest, Cause: isa.PageFaultCause(acc), VA: va}
+	}
+	s := e.space(root)
+	vpn := va >> isa.PageShift
+	s.entries[vpn] = ShadowEntry{
+		PPN:    wr.GPA >> isa.PageShift,
+		Perms:  tlb.PermsFromPTE(wr.PTE),
+		Global: wr.PTE&isa.PTEGlobal != 0,
+	}
+	for i := 0; i < wr.Plen; i++ {
+		ptGfn := wr.Path[i]
+		s.derived[ptGfn] = append(s.derived[ptGfn], vpn)
+		users := e.ptUsers[ptGfn]
+		if users == nil {
+			users = make(map[uint64]struct{})
+			e.ptUsers[ptGfn] = users
+		}
+		users[root] = struct{}{}
+		if !e.g.WriteProtected(ptGfn) {
+			e.g.WriteProtect(ptGfn, true)
+			e.Stats.WPInstalls++
+		}
+	}
+	e.Stats.Fills++
+	e.Stats.FillRefs += uint64(wr.Refs)
+	return wr.Refs, nil
+}
+
+// IsPTPage reports whether gfn is currently tracked as a guest page-table
+// page (so a write-protect fault on it belongs to this engine).
+func (e *Engine) IsPTPage(gfn uint64) bool {
+	return len(e.ptUsers[gfn]) > 0
+}
+
+// InvalidatePTWrite handles a trapped guest store to the protected PT page
+// gfn: every shadow entry derived through it is dropped from every space.
+// It returns the virtual pages whose cached translations (TLB entries) the
+// caller must flush. The caller emulates the store itself afterwards with
+// WriteUintPriv.
+func (e *Engine) InvalidatePTWrite(gfn uint64) (flushVPNs []uint64) {
+	e.Stats.PTWriteTraps++
+	users := e.ptUsers[gfn]
+	for root := range users {
+		s := e.spaces[root]
+		if s == nil {
+			continue
+		}
+		for _, vpn := range s.derived[gfn] {
+			if _, live := s.entries[vpn]; live {
+				delete(s.entries, vpn)
+				e.Stats.Invalidations++
+				flushVPNs = append(flushVPNs, vpn)
+			}
+		}
+		delete(s.derived, gfn)
+	}
+	delete(e.ptUsers, gfn)
+	// Leave the write-protection armed only if some other derivation still
+	// references the page; since we dropped all of them, unprotect.
+	e.g.WriteProtect(gfn, false)
+	return flushVPNs
+}
+
+// FlushVA drops the derived entry for one page (guest SFENCE.VMA va).
+func (e *Engine) FlushVA(root, va uint64) {
+	if s := e.spaces[root]; s != nil {
+		delete(s.entries, va>>isa.PageShift)
+	}
+}
+
+// FlushSpace drops every derived entry for a guest root (guest SFENCE.VMA
+// with no operands, or the VMM reclaiming memory). Write protection on the
+// guest's table pages is released lazily: pages remain protected until an
+// actual write arrives, mirroring how real shadow VMMs batch unprotection.
+func (e *Engine) FlushSpace(root uint64) {
+	s := e.spaces[root]
+	if s == nil {
+		return
+	}
+	e.Stats.SpaceFlushes++
+	s.entries = make(map[uint64]ShadowEntry)
+	s.derived = make(map[uint64][]uint64)
+}
+
+// DropAll discards every space (VM reset / teardown) and releases all write
+// protection installed by the engine.
+func (e *Engine) DropAll() {
+	for gfn := range e.ptUsers {
+		e.g.WriteProtect(gfn, false)
+	}
+	e.spaces = make(map[uint64]*shadowSpace)
+	e.ptUsers = make(map[uint64]map[uint64]struct{})
+	e.Stats.Spaces = 0
+}
+
+// EntryCount returns the number of live derived entries under root.
+func (e *Engine) EntryCount(root uint64) int {
+	if s := e.spaces[root]; s != nil {
+		return len(s.entries)
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package sched
+
+// CFS is a completely-fair-scheduler-like policy: each entity accrues
+// weighted virtual runtime (used × referenceWeight ÷ weight) and the entity
+// with the least vruntime runs next. Waking entities are placed at the
+// current minimum so they neither starve nor monopolize.
+type CFS struct {
+	baseScheduler
+	Quantum uint64
+}
+
+// referenceWeight normalizes vruntime (weight 1024 ≈ nice 0, as in Linux).
+const referenceWeight = 1024
+
+// NewCFS creates the policy.
+func NewCFS() *CFS {
+	return &CFS{baseScheduler: newBase(), Quantum: defaultQuantum}
+}
+
+func (c *CFS) minVruntime() uint64 {
+	var m uint64
+	first := true
+	for _, id := range c.order {
+		e := c.entities[id]
+		if e == nil || e.Blocked {
+			continue
+		}
+		if first || e.vruntime < m {
+			m = e.vruntime
+			first = false
+		}
+	}
+	return m
+}
+
+// Next implements core.Scheduler: least vruntime wins; caps throttle.
+func (c *CFS) Next() (int, uint64, bool) {
+	run := c.runnable()
+	if len(run) == 0 {
+		return 0, 0, false
+	}
+	var pick *Entity
+	for _, e := range run {
+		if e.CapPct > 0 {
+			// An entity past its cap relative to total progress is skipped.
+			total := c.totalUsed()
+			if total > 0 && e.Used*100 > total*e.CapPct {
+				continue
+			}
+		}
+		if pick == nil || e.vruntime < pick.vruntime {
+			pick = e
+		}
+	}
+	if pick == nil {
+		return 0, 0, false
+	}
+	return pick.ID, c.Quantum, true
+}
+
+func (c *CFS) totalUsed() uint64 {
+	var t uint64
+	for _, id := range c.order {
+		if e := c.entities[id]; e != nil {
+			t += e.Used
+		}
+	}
+	return t
+}
+
+// Account implements core.Scheduler.
+func (c *CFS) Account(id int, used uint64) {
+	e := c.entities[id]
+	if e == nil {
+		return
+	}
+	e.Used += used
+	e.vruntime += used * referenceWeight / e.Weight
+}
+
+// Unblock implements core.Scheduler: wake at the current minimum vruntime.
+func (c *CFS) Unblock(id int) {
+	e := c.entities[id]
+	if e == nil || !e.Blocked {
+		return
+	}
+	// Compute the floor before marking runnable, so the woken entity's own
+	// stale vruntime cannot become the minimum.
+	floor := c.minVruntime()
+	e.Blocked = false
+	if e.vruntime < floor {
+		e.vruntime = floor
+	}
+}

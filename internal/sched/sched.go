@@ -1,0 +1,125 @@
+// Package sched implements the vCPU schedulers the consolidation and
+// fairness experiments compare: a round-robin baseline, a Xen-style credit
+// scheduler (weights, caps, and a BOOST state for freshly woken entities),
+// and a CFS-like fair scheduler driven by weighted virtual runtime.
+//
+// All three satisfy the core.Scheduler interface. Time is the host's
+// simulated cycle count; schedulers are purely deterministic.
+package sched
+
+// Entity is the per-vCPU accounting state shared by the policies.
+type Entity struct {
+	ID      int
+	Weight  uint64
+	CapPct  uint64 // 0 = uncapped
+	Blocked bool
+
+	Used uint64 // total cycles consumed (for fairness measurement)
+
+	credits  int64  // credit scheduler
+	boosted  bool   // credit scheduler: woken and not yet rescheduled
+	vruntime uint64 // cfs
+	capDebt  uint64 // cycles consumed beyond the cap allowance
+}
+
+// baseScheduler holds the entity table shared by the policies.
+type baseScheduler struct {
+	entities map[int]*Entity
+	order    []int // stable iteration order
+}
+
+func newBase() baseScheduler {
+	return baseScheduler{entities: make(map[int]*Entity)}
+}
+
+// Add registers an entity.
+func (b *baseScheduler) Add(id int, weight, capPct uint64) {
+	if weight == 0 {
+		weight = 1
+	}
+	if _, dup := b.entities[id]; dup {
+		return
+	}
+	b.entities[id] = &Entity{ID: id, Weight: weight, CapPct: capPct}
+	b.order = append(b.order, id)
+}
+
+// Remove deregisters an entity.
+func (b *baseScheduler) Remove(id int) {
+	delete(b.entities, id)
+	for i, v := range b.order {
+		if v == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Block marks an entity unrunnable.
+func (b *baseScheduler) Block(id int) {
+	if e := b.entities[id]; e != nil {
+		e.Blocked = true
+	}
+}
+
+// Entity exposes accounting state (experiments read Used).
+func (b *baseScheduler) Entity(id int) *Entity { return b.entities[id] }
+
+// Shares returns each live entity's consumed cycles, in registration order
+// (input to metrics.JainIndex).
+func (b *baseScheduler) Shares() []float64 {
+	out := make([]float64, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, float64(b.entities[id].Used))
+	}
+	return out
+}
+
+func (b *baseScheduler) runnable() []*Entity {
+	out := make([]*Entity, 0, len(b.order))
+	for _, id := range b.order {
+		if e := b.entities[id]; e != nil && !e.Blocked {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RoundRobin is the baseline policy: equal quanta in registration order,
+// ignoring weights and caps — the strawman the fairness experiment knocks
+// down.
+type RoundRobin struct {
+	baseScheduler
+	next    int
+	Quantum uint64
+}
+
+// NewRoundRobin creates the policy with the given quantum in cycles.
+func NewRoundRobin(quantum uint64) *RoundRobin {
+	return &RoundRobin{baseScheduler: newBase(), Quantum: quantum}
+}
+
+// Next implements core.Scheduler.
+func (r *RoundRobin) Next() (int, uint64, bool) {
+	run := r.runnable()
+	if len(run) == 0 {
+		return 0, 0, false
+	}
+	e := run[r.next%len(run)]
+	r.next++
+	return e.ID, r.Quantum, true
+}
+
+// Account implements core.Scheduler.
+func (r *RoundRobin) Account(id int, used uint64) {
+	if e := r.entities[id]; e != nil {
+		e.Used += used
+	}
+}
+
+// Unblock implements core.Scheduler.
+func (r *RoundRobin) Unblock(id int) {
+	if e := r.entities[id]; e != nil {
+		e.Blocked = false
+	}
+}

@@ -1,0 +1,200 @@
+// Package snapshot implements whole-VM state capture: serialization of the
+// architectural CPU state and memory image to a portable binary format
+// (save/restore, disaster recovery), and instant copy-on-write cloning of a
+// running VM on the same host (the rapid-provisioning path of experiment
+// T14).
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"govisor/internal/core"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+)
+
+// magic identifies govisor snapshot streams.
+const magic = 0x47565356 // "GVSV"
+
+const version = 1
+
+// header fields are written as little-endian u64 unless noted.
+
+// Save serializes the VM (which should be paused or halted for a consistent
+// image) to w. Only present pages are stored; zero pages are elided, so
+// sparse guests stay small.
+func Save(vm *core.VM, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cpu := vm.CPU
+
+	var scratch [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		bw.Write(scratch[:])
+	}
+
+	wu(magic)
+	wu(version)
+	wu(uint64(vm.Mode))
+	wu(vm.Mem.Pages())
+
+	// CPU: 32 GPRs, PC, priv, cycles, instret, CSR file.
+	for _, x := range cpu.X {
+		wu(x)
+	}
+	wu(cpu.PC)
+	wu(uint64(cpu.Priv))
+	wu(cpu.Cycles)
+	wu(cpu.Instret)
+	csr := cpu.CSR
+	for _, v := range []uint64{
+		csr.Sstatus, csr.Sie, csr.Stvec, csr.Sscratch, csr.Sepc,
+		csr.Scause, csr.Stval, csr.Sip, csr.Stimecmp, csr.Satp,
+	} {
+		wu(v)
+	}
+
+	// Memory: count, then (gfn, page) pairs for non-zero present pages.
+	var pages []uint64
+	buf := make([]byte, isa.PageSize)
+	for gfn := uint64(0); gfn < vm.Mem.Pages(); gfn++ {
+		hfn := vm.Mem.Frame(gfn)
+		if hfn == mem.NoFrame || vm.Mem.Pool().IsZero(hfn) {
+			continue
+		}
+		pages = append(pages, gfn)
+	}
+	wu(uint64(len(pages)))
+	for _, gfn := range pages {
+		wu(gfn)
+		vm.Mem.ReadRaw(gfn, buf)
+		bw.Write(buf)
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot stream into a freshly created (un-booted) VM of
+// at least the snapshot's memory size and marks it running.
+func Restore(vm *core.VM, r io.Reader) error {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	ru := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:]), nil
+	}
+	need := func(what string, want uint64) error {
+		got, err := ru()
+		if err != nil {
+			return fmt.Errorf("snapshot: reading %s: %w", what, err)
+		}
+		if got != want {
+			return fmt.Errorf("snapshot: %s = %#x, want %#x", what, got, want)
+		}
+		return nil
+	}
+	if err := need("magic", magic); err != nil {
+		return err
+	}
+	if err := need("version", version); err != nil {
+		return err
+	}
+	modev, err := ru()
+	if err != nil {
+		return err
+	}
+	if core.Mode(modev) != vm.Mode {
+		return fmt.Errorf("snapshot: mode %v does not match VM mode %v", core.Mode(modev), vm.Mode)
+	}
+	npages, err := ru()
+	if err != nil {
+		return err
+	}
+	if npages > vm.Mem.Pages() {
+		return fmt.Errorf("snapshot: image has %d pages, VM has %d", npages, vm.Mem.Pages())
+	}
+
+	cpu := vm.CPU
+	for i := range cpu.X {
+		v, err := ru()
+		if err != nil {
+			return err
+		}
+		cpu.X[i] = v
+	}
+	vals := make([]uint64, 14)
+	for i := range vals {
+		v, err := ru()
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	cpu.PC = vals[0]
+	cpu.Priv = uint8(vals[1])
+	cpu.Cycles = vals[2]
+	cpu.Instret = vals[3]
+	cpu.CSR.Sstatus = vals[4]
+	cpu.CSR.Sie = vals[5]
+	cpu.CSR.Stvec = vals[6]
+	cpu.CSR.Sscratch = vals[7]
+	cpu.CSR.Sepc = vals[8]
+	cpu.CSR.Scause = vals[9]
+	cpu.CSR.Stval = vals[10]
+	cpu.CSR.Sip = vals[11]
+	cpu.CSR.Stimecmp = vals[12]
+	cpu.WriteCSR(isa.CSRSatp, vals[13])
+
+	count, err := ru()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, isa.PageSize)
+	for i := uint64(0); i < count; i++ {
+		gfn, err := ru()
+		if err != nil {
+			return err
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("snapshot: page %d content: %w", gfn, err)
+		}
+		if err := vm.Mem.WriteRaw(gfn, buf); err != nil {
+			return err
+		}
+	}
+	vm.State = core.StateRunning
+	return nil
+}
+
+// Clone instantly forks src into dst on the same host pool: every present
+// page is shared copy-on-write, so the clone costs no page copies up front
+// and splits lazily as either side writes. dst must be freshly created with
+// the same configuration.
+func Clone(src, dst *core.VM) error {
+	if dst.State != core.StateCreated {
+		return fmt.Errorf("snapshot: clone destination is %v", dst.State)
+	}
+	if dst.Mem.Pages() < src.Mem.Pages() {
+		return fmt.Errorf("snapshot: clone destination too small")
+	}
+	if dst.Mem.Pool() != src.Mem.Pool() {
+		return fmt.Errorf("snapshot: clone requires a shared host pool")
+	}
+	pool := src.Mem.Pool()
+	for gfn := uint64(0); gfn < src.Mem.Pages(); gfn++ {
+		hfn := src.Mem.Frame(gfn)
+		if hfn == mem.NoFrame {
+			continue
+		}
+		pool.IncRef(hfn)
+		dst.Mem.MapShared(gfn, hfn)
+		// The source side becomes COW too: its next write must split.
+		src.Mem.MarkCOWIfMapped(gfn, hfn)
+	}
+	dst.AdoptState(src)
+	return nil
+}

@@ -1,0 +1,168 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"govisor/internal/core"
+	"govisor/internal/gabi"
+	"govisor/internal/guest"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+)
+
+const vmRAM = 2 << 20
+
+func runningVM(t *testing.T, pool *mem.Pool, name string) *core.VM {
+	t.Helper()
+	kernel, err := guest.BuildKernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := core.NewVM(pool, core.Config{Name: name, Mode: core.ModeHW, MemBytes: vmRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest.Dirty(0, 16, 500).Apply(vm)
+	if err := vm.Boot(kernel); err != nil {
+		t.Fatal(err)
+	}
+	vm.Step(3_000_000)
+	if vm.State != core.StateRunning {
+		t.Fatalf("vm state %v err %v", vm.State, vm.Err)
+	}
+	return vm
+}
+
+func freshVM(t *testing.T, pool *mem.Pool, name string) *core.VM {
+	t.Helper()
+	vm, err := core.NewVM(pool, core.Config{Name: name, Mode: core.ModeHW, MemBytes: vmRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestSaveRestoreRoundTrip(t *testing.T) {
+	pool := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	dst := freshVM(t, pool, "dst")
+	if err := Restore(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.CPU.PC != src.CPU.PC || dst.CPU.X[5] != src.CPU.X[5] {
+		t.Fatal("cpu state mismatch")
+	}
+	// Restored guest continues the workload.
+	before := dst.Result(gabi.PResult0)
+	dst.Step(30_000_000)
+	if dst.State == core.StateError {
+		t.Fatalf("restored vm errored: %v", dst.Err)
+	}
+	if dst.Result(gabi.PResult0) <= before {
+		t.Fatal("restored vm made no progress")
+	}
+}
+
+func TestSnapshotElidesZeroPages(t *testing.T) {
+	pool := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Far smaller than full RAM: only touched pages are stored.
+	if buf.Len() >= vmRAM {
+		t.Fatalf("snapshot %d bytes for %d RAM", buf.Len(), vmRAM)
+	}
+}
+
+func TestRestoreRejectsCorruptStream(t *testing.T) {
+	pool := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	dst := freshVM(t, pool, "dst")
+	if err := Restore(dst, bytes.NewReader([]byte("not a snapshot, definitely"))); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+	if err := Restore(dst, bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestRestoreRejectsModeMismatch(t *testing.T) {
+	pool := mem.NewPool(8 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong, err := core.NewVM(pool, core.Config{Name: "wrong", Mode: core.ModeTrap, MemBytes: vmRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(wrong, &buf); err == nil {
+		t.Fatal("mode mismatch accepted")
+	}
+}
+
+func TestCloneSharesAndSplits(t *testing.T) {
+	pool := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+
+	inUseBefore := pool.InUse()
+	dst := freshVM(t, pool, "clone")
+	if err := Clone(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Cloning allocates no frames.
+	if pool.InUse() != inUseBefore {
+		t.Fatalf("clone allocated frames: %d → %d", inUseBefore, pool.InUse())
+	}
+	// Both run independently.
+	src.Resume()
+	src.Step(20_000_000)
+	dst.Step(20_000_000)
+	if src.State == core.StateError || dst.State == core.StateError {
+		t.Fatalf("src=%v dst=%v (%v/%v)", src.State, dst.State, src.Err, dst.Err)
+	}
+	// Writes split frames: usage grows past the shared baseline.
+	if pool.InUse() <= inUseBefore {
+		t.Fatal("COW splits should have allocated")
+	}
+	if dst.Mem.COWBreaks == 0 && src.Mem.COWBreaks == 0 {
+		t.Fatal("no COW breaks recorded")
+	}
+}
+
+func TestCloneRequiresSharedPool(t *testing.T) {
+	poolA := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	poolB := mem.NewPool(4 * vmRAM >> isa.PageShift)
+	src := runningVM(t, poolA, "src")
+	src.Pause()
+	dst := freshVM(t, poolB, "dst")
+	if err := Clone(src, dst); err == nil {
+		t.Fatal("cross-pool clone accepted")
+	}
+}
+
+func TestCloneRejectsBootedDestination(t *testing.T) {
+	pool := mem.NewPool(8 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+	dst := runningVM(t, pool, "dst")
+	if err := Clone(src, dst); err == nil {
+		t.Fatal("running destination accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package storage implements the disk images backing block devices: a raw
+// in-memory image and a copy-on-write layered image with backing chains —
+// the substrate for instant VM cloning, snapshot trees, and the COW-depth
+// experiment F15.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SectorSize matches dev.SectorSize; kept as its own constant so the storage
+// layer has no dependency on the device layer.
+const SectorSize = 512
+
+// ErrOutOfRange is returned for accesses beyond the end of the image.
+var ErrOutOfRange = errors.New("storage: sector out of range")
+
+// Image is a random-access sector store. Raw and COW images implement it,
+// and dev.BlockBackend is satisfied by any Image.
+type Image interface {
+	ReadSector(lba uint64, buf []byte) error
+	WriteSector(lba uint64, buf []byte) error
+	Sectors() uint64
+}
+
+// Raw is a flat in-memory image. Sectors are allocated lazily so a large
+// empty disk costs nothing; unwritten sectors read as zeros.
+type Raw struct {
+	sectors uint64
+	data    map[uint64][]byte
+
+	// Stats.
+	Reads, Writes uint64
+}
+
+// NewRaw creates a raw image with the given capacity.
+func NewRaw(sectors uint64) *Raw {
+	return &Raw{sectors: sectors, data: make(map[uint64][]byte)}
+}
+
+// Sectors implements Image.
+func (r *Raw) Sectors() uint64 { return r.sectors }
+
+// ReadSector implements Image.
+func (r *Raw) ReadSector(lba uint64, buf []byte) error {
+	if lba >= r.sectors {
+		return fmt.Errorf("%w: lba %d of %d", ErrOutOfRange, lba, r.sectors)
+	}
+	r.Reads++
+	if s, ok := r.data[lba]; ok {
+		copy(buf, s)
+		return nil
+	}
+	for i := range buf[:min(len(buf), SectorSize)] {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// WriteSector implements Image.
+func (r *Raw) WriteSector(lba uint64, buf []byte) error {
+	if lba >= r.sectors {
+		return fmt.Errorf("%w: lba %d of %d", ErrOutOfRange, lba, r.sectors)
+	}
+	r.Writes++
+	s, ok := r.data[lba]
+	if !ok {
+		s = make([]byte, SectorSize)
+		r.data[lba] = s
+	}
+	copy(s, buf)
+	return nil
+}
+
+// Allocated returns the number of materialized sectors.
+func (r *Raw) Allocated() uint64 { return uint64(len(r.data)) }
+
+// COW is a copy-on-write image layered over a backing image. Reads fall
+// through the chain to the deepest layer that has the sector; the first
+// write to a sector copies it up into this layer (read-modify-write against
+// the backing chain is unnecessary because writes are whole sectors).
+//
+// Snapshot chains are built by stacking COW layers: each Snapshot call
+// freezes the current layer and returns a fresh writable top.
+type COW struct {
+	backing Image
+	delta   map[uint64][]byte
+	sectors uint64
+	frozen  bool
+
+	// Stats for F15.
+	Reads, Writes, CopyUps, ChainReads uint64
+}
+
+// NewCOW creates a writable COW layer over backing.
+func NewCOW(backing Image) *COW {
+	return &COW{
+		backing: backing,
+		delta:   make(map[uint64][]byte),
+		sectors: backing.Sectors(),
+	}
+}
+
+// Sectors implements Image.
+func (c *COW) Sectors() uint64 { return c.sectors }
+
+// Backing returns the image this layer falls through to.
+func (c *COW) Backing() Image { return c.backing }
+
+// Depth returns the number of COW layers in the chain including this one.
+func (c *COW) Depth() int {
+	d := 1
+	b := c.backing
+	for {
+		cow, ok := b.(*COW)
+		if !ok {
+			return d
+		}
+		d++
+		b = cow.backing
+	}
+}
+
+// ReadSector implements Image.
+func (c *COW) ReadSector(lba uint64, buf []byte) error {
+	if lba >= c.sectors {
+		return fmt.Errorf("%w: lba %d of %d", ErrOutOfRange, lba, c.sectors)
+	}
+	c.Reads++
+	if s, ok := c.delta[lba]; ok {
+		copy(buf, s)
+		return nil
+	}
+	c.ChainReads++
+	return c.backing.ReadSector(lba, buf)
+}
+
+// WriteSector implements Image.
+func (c *COW) WriteSector(lba uint64, buf []byte) error {
+	if c.frozen {
+		return errors.New("storage: write to frozen snapshot layer")
+	}
+	if lba >= c.sectors {
+		return fmt.Errorf("%w: lba %d of %d", ErrOutOfRange, lba, c.sectors)
+	}
+	c.Writes++
+	s, ok := c.delta[lba]
+	if !ok {
+		s = make([]byte, SectorSize)
+		c.delta[lba] = s
+		c.CopyUps++
+	}
+	copy(s, buf)
+	return nil
+}
+
+// Allocated returns the number of sectors materialized in this layer only.
+func (c *COW) Allocated() uint64 { return uint64(len(c.delta)) }
+
+// Snapshot freezes this layer and returns a new writable layer on top.
+// The frozen layer keeps serving reads for sectors the new layer lacks.
+func (c *COW) Snapshot() *COW {
+	c.frozen = true
+	return NewCOW(c)
+}
+
+// Clone returns an independent writable layer over the same (now frozen)
+// base — the instant-provisioning path of experiment T14: both clones share
+// every untouched sector.
+func (c *COW) Clone() *COW {
+	c.frozen = true
+	return NewCOW(c)
+}
+
+// Flatten copies every live sector into a new Raw image (snapshot
+// consolidation), collapsing the chain.
+func (c *COW) Flatten() (*Raw, error) {
+	out := NewRaw(c.sectors)
+	buf := make([]byte, SectorSize)
+	zero := make([]byte, SectorSize)
+	for lba := uint64(0); lba < c.sectors; lba++ {
+		if err := c.ReadSector(lba, buf); err != nil {
+			return nil, err
+		}
+		if string(buf) == string(zero) {
+			continue
+		}
+		if err := out.WriteSector(lba, buf); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,207 @@
+// Package tlb models the translation lookaside buffer of the simulated CPU.
+//
+// The TLB caches virtual-page → physical-page translations at 4 KiB
+// granularity (superpage walks still save page-table references; their
+// translations are inserted per 4 KiB page, as in most hardware fill paths).
+// Entries are tagged with an address-space identifier so a world switch can
+// either flush everything (cheap hardware, expensive misses) or keep entries
+// alive across switches (the ASID ablation in EXPERIMENTS.md).
+package tlb
+
+import "govisor/internal/isa"
+
+// Perm bits cached with each translation.
+const (
+	PermR uint8 = 1 << 0
+	PermW uint8 = 1 << 1
+	PermX uint8 = 1 << 2
+	PermU uint8 = 1 << 3 // accessible from user mode
+)
+
+// PermsFromPTE converts architectural PTE bits to cached perm bits.
+func PermsFromPTE(pte uint64) uint8 {
+	var p uint8
+	if pte&isa.PTERead != 0 {
+		p |= PermR
+	}
+	if pte&isa.PTEWrite != 0 {
+		p |= PermW
+	}
+	if pte&isa.PTEExec != 0 {
+		p |= PermX
+	}
+	if pte&isa.PTEUser != 0 {
+		p |= PermU
+	}
+	return p
+}
+
+// Entry is one cached translation.
+type Entry struct {
+	valid  bool
+	global bool
+	asid   uint16
+	vpn    uint64
+	stamp  uint64 // LRU timestamp
+
+	PPN   uint64 // physical page number the VPN maps to
+	Perms uint8
+}
+
+// Stats counts TLB behaviour for the experiments.
+type Stats struct {
+	Hits         uint64
+	Misses       uint64
+	Flushes      uint64 // full or ASID flush operations
+	PageFlushes  uint64
+	Evictions    uint64
+	GlobalShoots uint64 // entries killed by flushes
+}
+
+// TLB is a set-associative translation cache.
+type TLB struct {
+	sets  [][]Entry
+	nsets uint64
+	clock uint64
+	Stats Stats
+}
+
+// Default geometry: 64 sets × 4 ways = 256 entries ≈ a mid-2010s L2 TLB
+// reach of 1 MiB with 4 KiB pages.
+const (
+	DefaultSets = 64
+	DefaultWays = 4
+)
+
+// New creates a TLB with the given geometry; sets must be a power of two.
+func New(sets, ways int) *TLB {
+	if sets <= 0 || sets&(sets-1) != 0 || ways <= 0 {
+		panic("tlb: geometry must be positive power-of-two sets")
+	}
+	t := &TLB{sets: make([][]Entry, sets), nsets: uint64(sets)}
+	for i := range t.sets {
+		t.sets[i] = make([]Entry, ways)
+	}
+	return t
+}
+
+// NewDefault creates a TLB with the default geometry.
+func NewDefault() *TLB { return New(DefaultSets, DefaultWays) }
+
+// Entries returns the total capacity.
+func (t *TLB) Entries() int { return int(t.nsets) * len(t.sets[0]) }
+
+func (t *TLB) set(vpn uint64) []Entry { return t.sets[vpn&(t.nsets-1)] }
+
+// Lookup searches for a translation of va in address space asid.
+func (t *TLB) Lookup(asid uint16, va uint64) (Entry, bool) {
+	vpn := va >> isa.PageShift
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && (e.global || e.asid == asid) {
+			t.clock++
+			e.stamp = t.clock
+			t.Stats.Hits++
+			return *e, true
+		}
+	}
+	t.Stats.Misses++
+	return Entry{}, false
+}
+
+// Insert caches a translation, evicting the LRU way if the set is full.
+func (t *TLB) Insert(asid uint16, va, ppn uint64, perms uint8, global bool) {
+	vpn := va >> isa.PageShift
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && (e.global || e.asid == asid) {
+			victim = i // refresh existing entry in place
+			break
+		}
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].vpn != vpn {
+		t.Stats.Evictions++
+	}
+	t.clock++
+	set[victim] = Entry{
+		valid: true, global: global, asid: asid, vpn: vpn,
+		stamp: t.clock, PPN: ppn, Perms: perms,
+	}
+}
+
+// FlushAll invalidates every entry (world switch without ASIDs, or
+// sfence.vma with zero operands when ASIDs are disabled).
+func (t *TLB) FlushAll() {
+	t.Stats.Flushes++
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid {
+				set[i].valid = false
+				t.Stats.GlobalShoots++
+			}
+		}
+	}
+}
+
+// FlushASID invalidates all non-global entries of one address space.
+func (t *TLB) FlushASID(asid uint16) {
+	t.Stats.Flushes++
+	for _, set := range t.sets {
+		for i := range set {
+			if set[i].valid && !set[i].global && set[i].asid == asid {
+				set[i].valid = false
+				t.Stats.GlobalShoots++
+			}
+		}
+	}
+}
+
+// FlushPage invalidates translations of one virtual page in one address
+// space (global entries for the page are also dropped — conservative, as the
+// architecture requires).
+func (t *TLB) FlushPage(asid uint16, va uint64) {
+	t.Stats.PageFlushes++
+	vpn := va >> isa.PageShift
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn && (set[i].global || set[i].asid == asid) {
+			set[i].valid = false
+		}
+	}
+}
+
+// FlushPageAllASIDs invalidates every translation of one virtual page
+// regardless of address space (shadow-entry invalidation, which must kill
+// cached translations for roots that are not currently active).
+func (t *TLB) FlushPageAllASIDs(va uint64) {
+	t.Stats.PageFlushes++
+	vpn := va >> isa.PageShift
+	set := t.set(vpn)
+	for i := range set {
+		if set[i].valid && set[i].vpn == vpn {
+			set[i].valid = false
+		}
+	}
+}
+
+// HitRate returns hits / (hits + misses), or 0 when idle.
+func (t *TLB) HitRate() float64 {
+	total := t.Stats.Hits + t.Stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Stats.Hits) / float64(total)
+}
+
+// ResetStats zeroes the counters (benchmark warmup boundaries).
+func (t *TLB) ResetStats() { t.Stats = Stats{} }

@@ -1,0 +1,79 @@
+// Package trace provides a bounded in-memory event ring used to debug guest
+// and VMM behaviour. Tracing is off by default and costs one branch when
+// disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one trace record.
+type Event struct {
+	Cycle uint64
+	Kind  string
+	Msg   string
+}
+
+// Ring is a fixed-capacity event buffer; when full, the oldest events are
+// overwritten.
+type Ring struct {
+	Enabled bool
+	buf     []Event
+	next    int
+	wrapped bool
+}
+
+// NewRing creates a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Add records an event if tracing is enabled.
+func (r *Ring) Add(cycle uint64, kind, format string, args ...any) {
+	if !r.Enabled {
+		return
+	}
+	r.buf[r.next] = Event{Cycle: cycle, Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+}
+
+// Events returns the recorded events in order, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Len returns the number of stored events.
+func (r *Ring) Len() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Reset clears the ring.
+func (r *Ring) Reset() { r.next = 0; r.wrapped = false }
+
+// Dump renders all events, one per line.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		fmt.Fprintf(&b, "[%12d] %-10s %s\n", e.Cycle, e.Kind, e.Msg)
+	}
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisabledRingRecordsNothing(t *testing.T) {
+	r := NewRing(8)
+	r.Add(1, "x", "event")
+	if r.Len() != 0 {
+		t.Fatal("disabled ring recorded")
+	}
+}
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := NewRing(8)
+	r.Enabled = true
+	for i := 0; i < 5; i++ {
+		r.Add(uint64(i), "k", "e%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 5 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != uint64(i) || e.Msg != strings.Replace("eN", "N", string(rune('0'+i)), 1) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	r := NewRing(4)
+	r.Enabled = true
+	for i := 0; i < 10; i++ {
+		r.Add(uint64(i), "k", "e%d", i)
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	if ev[0].Cycle != 6 || ev[3].Cycle != 9 {
+		t.Fatalf("events = %+v", ev)
+	}
+	if r.Len() != 4 {
+		t.Fatal("Len after wrap")
+	}
+}
+
+func TestRingResetAndDump(t *testing.T) {
+	r := NewRing(4)
+	r.Enabled = true
+	r.Add(7, "vmexit", "reason=%s", "mmio")
+	dump := r.Dump()
+	if !strings.Contains(dump, "vmexit") || !strings.Contains(dump, "reason=mmio") {
+		t.Fatalf("dump = %q", dump)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dump() != "" {
+		t.Fatal("reset")
+	}
+}
+
+func TestZeroCapacityNormalized(t *testing.T) {
+	r := NewRing(0)
+	r.Enabled = true
+	r.Add(1, "k", "x")
+	if r.Len() != 1 {
+		t.Fatal("capacity floor")
+	}
+}

@@ -1,0 +1,56 @@
+// Package vcpu implements the GV64 interpreter: the simulated CPU core with
+// cycle accounting, two privilege levels, interrupt delivery, and the VM-exit
+// machinery the VMM (internal/core) builds on.
+//
+// A vCPU runs in one of two privilege regimes:
+//
+//   - Full (Deprivileged == false): privileged instructions execute directly
+//     against the CSR file. This models native hardware and hardware-assisted
+//     virtualization (where the CPU holds a complete guest state and only
+//     hypercalls/MMIO/nested faults exit).
+//   - Deprivileged (Deprivileged == true): every privileged instruction (CSR
+//     access, SRET, SFENCE.VMA, WFI) suspends to the VMM, which emulates it
+//     against the same CSR file. This models classic trap-and-emulate and
+//     paravirtual execution, where the guest kernel runs without hardware
+//     privilege.
+//
+// All simulated time is expressed in cycles at a nominal 1 GHz, so one cycle
+// is one nanosecond of guest time.
+package vcpu
+
+// Costs is the cycle cost model. The relative magnitudes follow the
+// virtualization literature for mid-2010s hardware: a VM exit/entry round
+// trip costs on the order of a thousand cycles, an uncached memory reference
+// tens of cycles, and register operations single cycles. EXPERIMENTS.md
+// records which result shapes depend on which ratios.
+type Costs struct {
+	Instr      uint64 // base cost of any retired instruction
+	MemAccess  uint64 // data memory reference (cache-less DRAM abstraction)
+	PTRef      uint64 // one page-table entry reference during a walk
+	TrapEntry  uint64 // architectural trap entry/return inside the guest
+	ExitRound  uint64 // VM exit + re-entry world switch
+	Hypercall  uint64 // paravirtual call dispatch on top of the exit
+	Inject     uint64 // virtual interrupt/trap injection by the VMM
+	Emulate    uint64 // instruction decode + emulation work in the VMM
+	COWBreak   uint64 // host-side copy-on-write split
+	DemandFill uint64 // host-side demand page allocation
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		Instr:      1,
+		MemAccess:  10,
+		PTRef:      10,
+		TrapEntry:  40,
+		ExitRound:  1200,
+		Hypercall:  600,
+		Inject:     300,
+		Emulate:    400,
+		COWBreak:   2000,
+		DemandFill: 1500,
+	}
+}
+
+// CyclesPerSecond converts simulated cycles to time: 1 GHz nominal clock.
+const CyclesPerSecond = 1_000_000_000

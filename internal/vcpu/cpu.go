@@ -1,0 +1,623 @@
+package vcpu
+
+import (
+	"fmt"
+	"math/bits"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/mmu"
+)
+
+// Privilege levels of the (virtual) architecture.
+const (
+	PrivU uint8 = 0
+	PrivS uint8 = 1
+)
+
+// Stats counts interpreter activity.
+type Stats struct {
+	Exits      [NumExitReasons]uint64
+	Traps      uint64 // architectural trap entries (direct or injected)
+	Interrupts uint64 // interrupts delivered directly (full-privilege mode)
+}
+
+// CPU is one GV64 hart.
+type CPU struct {
+	X    [32]uint64
+	PC   uint64
+	Priv uint8 // virtual privilege: PrivU or PrivS
+	CSR  CSRFile
+
+	Mem *mem.GuestPhys
+	MMU *mmu.Context
+
+	// IsMMIO reports whether a guest-physical address belongs to a device
+	// window; such accesses exit with ExitMMIO. Nil means no devices.
+	IsMMIO func(gpa uint64) bool
+
+	// Deprivileged selects the trap-and-emulate / paravirtual regime: all
+	// privileged instructions and guest-visible traps exit to the VMM.
+	Deprivileged bool
+
+	// Venv is the value the guest reads from the CSRVenv discovery register.
+	Venv uint64
+
+	Costs   Costs
+	Cycles  uint64 // simulated time, 1 cycle = 1 ns
+	Instret uint64
+
+	Stats Stats
+}
+
+// New creates a CPU over the given memory and translation context.
+func New(m *mem.GuestPhys, ctx *mmu.Context) *CPU {
+	return &CPU{Mem: m, MMU: ctx, Costs: DefaultCosts()}
+}
+
+// Reg returns register r (x0 reads as zero by construction).
+func (c *CPU) Reg(r uint8) uint64 { return c.X[r] }
+
+// SetReg writes register r, ignoring writes to x0.
+func (c *CPU) SetReg(r uint8, v uint64) {
+	if r != 0 {
+		c.X[r] = v
+	}
+}
+
+// AddCycles charges VMM-side emulation work to the guest's clock.
+func (c *CPU) AddCycles(n uint64) { c.Cycles += n }
+
+func (c *CPU) exit(e Exit) Exit {
+	c.Stats.Exits[e.Reason]++
+	return e
+}
+
+// vmExit charges the world-switch cost and returns the exit.
+func (c *CPU) vmExit(e Exit) Exit {
+	c.Cycles += c.Costs.ExitRound
+	return c.exit(e)
+}
+
+// FinishMMIORead completes a load that exited with ExitMMIO: the VMM passes
+// the device's value, and the CPU performs the architectural sign/zero
+// extension into the destination register.
+func (c *CPU) FinishMMIORead(info MMIOInfo, value uint64) {
+	v := value
+	switch info.Size {
+	case 1:
+		if info.Signed {
+			v = uint64(int64(int8(v)))
+		} else {
+			v = uint64(uint8(v))
+		}
+	case 2:
+		if info.Signed {
+			v = uint64(int64(int16(v)))
+		} else {
+			v = uint64(uint16(v))
+		}
+	case 4:
+		if info.Signed {
+			v = uint64(int64(int32(v)))
+		} else {
+			v = uint64(uint32(v))
+		}
+	}
+	c.SetReg(info.Rd, v)
+}
+
+// guestTrap delivers a guest-visible trap: directly when fully privileged,
+// as an ExitGuestTrap for the VMM to inject when deprivileged.
+func (c *CPU) guestTrap(cause, tval uint64) (Exit, bool) {
+	if c.Deprivileged {
+		return c.vmExit(Exit{Reason: ExitGuestTrap, Cause: cause, Tval: tval}), true
+	}
+	c.InjectTrap(cause, tval)
+	return Exit{}, false
+}
+
+// translate wraps the MMU, converting its fault taxonomy into either a guest
+// trap or a VM exit. ok is false when an Exit must be returned.
+func (c *CPU) translate(va uint64, acc isa.Access) (gpa uint64, ex Exit, ok bool) {
+	gpa, refs, fault := c.MMU.Translate(va, acc, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault == nil {
+		return gpa, Exit{}, true
+	}
+	switch fault.Kind {
+	case mmu.FaultGuest:
+		e, exited := c.guestTrap(fault.Cause, va)
+		if exited {
+			return 0, e, false
+		}
+		// Trap delivered inside the guest; instruction restarts at the
+		// handler. Signal the caller to continue the loop.
+		return 0, Exit{Reason: ExitNone}, false
+	case mmu.FaultShadowMiss:
+		return 0, c.vmExit(Exit{Reason: ExitShadowMiss, VA: va, Access: acc}), false
+	default: // mmu.FaultHost
+		return 0, c.vmExit(Exit{Reason: ExitHostFault, VA: va, Access: acc, Mem: fault.Mem}), false
+	}
+}
+
+// memFaultExit converts a guest-physical access fault on a data access.
+func (c *CPU) memFaultExit(va uint64, acc isa.Access, f *mem.Fault) Exit {
+	return c.vmExit(Exit{Reason: ExitHostFault, VA: va, Access: acc, Mem: f})
+}
+
+// Run interprets instructions until the cycle budget is exhausted or an exit
+// condition arises. The budget is a cycle count relative to the current
+// clock.
+func (c *CPU) Run(budget uint64) Exit {
+	deadline := c.Cycles + budget
+	for {
+		if c.Cycles >= deadline {
+			return c.exit(Exit{Reason: ExitQuantum})
+		}
+		// Timer: STIP latches when the clock passes STIMECMP.
+		if cmp := c.CSR.Stimecmp; cmp != 0 && c.Cycles >= cmp && c.CSR.Sip&(1<<isa.IntTimer) == 0 {
+			c.CSR.Sip |= 1 << isa.IntTimer
+		}
+		if irq := c.PendingInterrupt(); irq != 0 {
+			if c.Deprivileged {
+				return c.vmExit(Exit{Reason: ExitIntrWindow})
+			}
+			c.Stats.Interrupts++
+			c.InjectTrap(isa.CauseInterrupt|irq, 0)
+			continue
+		}
+
+		// Fetch.
+		if c.PC&3 != 0 {
+			if e, exited := c.guestTrap(isa.CauseInstrMisaligned, c.PC); exited {
+				return e
+			}
+			continue
+		}
+		gpa, ex, ok := c.translate(c.PC, isa.AccExec)
+		if !ok {
+			if ex.Reason == ExitNone {
+				continue
+			}
+			return ex
+		}
+		if c.IsMMIO != nil && !c.Mem.Contains(gpa) && c.IsMMIO(gpa) {
+			// Executing out of device space is an access fault.
+			if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
+				return e
+			}
+			continue
+		}
+		word, f := c.Mem.ReadUint(gpa, 4)
+		if f != nil {
+			if f.Kind == mem.FaultBeyondRAM {
+				if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
+					return e
+				}
+				continue
+			}
+			return c.memFaultExit(c.PC, isa.AccExec, f)
+		}
+
+		in := isa.Decode(uint32(word))
+		if !in.Op.Valid() {
+			if e, exited := c.guestTrap(isa.CauseIllegal, uint64(uint32(word))); exited {
+				return e
+			}
+			continue
+		}
+		c.Cycles += c.Costs.Instr
+		c.Instret++
+		if ex, done := c.execute(in, uint32(word)); done {
+			return ex
+		}
+	}
+}
+
+// execute runs one decoded instruction. done reports that Run must return ex.
+func (c *CPU) execute(in isa.Inst, raw uint32) (ex Exit, done bool) {
+	switch in.Op {
+	// ---- register-register ALU ----
+	case isa.OpADD:
+		c.SetReg(in.Rd, c.X[in.Rs1]+c.X[in.Rs2])
+	case isa.OpSUB:
+		c.SetReg(in.Rd, c.X[in.Rs1]-c.X[in.Rs2])
+	case isa.OpAND:
+		c.SetReg(in.Rd, c.X[in.Rs1]&c.X[in.Rs2])
+	case isa.OpOR:
+		c.SetReg(in.Rd, c.X[in.Rs1]|c.X[in.Rs2])
+	case isa.OpXOR:
+		c.SetReg(in.Rd, c.X[in.Rs1]^c.X[in.Rs2])
+	case isa.OpSLL:
+		c.SetReg(in.Rd, c.X[in.Rs1]<<(c.X[in.Rs2]&63))
+	case isa.OpSRL:
+		c.SetReg(in.Rd, c.X[in.Rs1]>>(c.X[in.Rs2]&63))
+	case isa.OpSRA:
+		c.SetReg(in.Rd, uint64(int64(c.X[in.Rs1])>>(c.X[in.Rs2]&63)))
+	case isa.OpSLT:
+		c.SetReg(in.Rd, boolTo64(int64(c.X[in.Rs1]) < int64(c.X[in.Rs2])))
+	case isa.OpSLTU:
+		c.SetReg(in.Rd, boolTo64(c.X[in.Rs1] < c.X[in.Rs2]))
+	case isa.OpMUL:
+		c.SetReg(in.Rd, c.X[in.Rs1]*c.X[in.Rs2])
+	case isa.OpMULH:
+		hi, _ := mulh64(int64(c.X[in.Rs1]), int64(c.X[in.Rs2]))
+		c.SetReg(in.Rd, uint64(hi))
+	case isa.OpDIV:
+		c.SetReg(in.Rd, uint64(div64(int64(c.X[in.Rs1]), int64(c.X[in.Rs2]))))
+	case isa.OpDIVU:
+		c.SetReg(in.Rd, divu64(c.X[in.Rs1], c.X[in.Rs2]))
+	case isa.OpREM:
+		c.SetReg(in.Rd, uint64(rem64(int64(c.X[in.Rs1]), int64(c.X[in.Rs2]))))
+	case isa.OpREMU:
+		c.SetReg(in.Rd, remu64(c.X[in.Rs1], c.X[in.Rs2]))
+
+	// ---- immediates ----
+	case isa.OpADDI:
+		c.SetReg(in.Rd, c.X[in.Rs1]+uint64(int64(in.Imm)))
+	case isa.OpANDI:
+		c.SetReg(in.Rd, c.X[in.Rs1]&uint64(uint32(in.Imm)))
+	case isa.OpORI:
+		c.SetReg(in.Rd, c.X[in.Rs1]|uint64(uint32(in.Imm)))
+	case isa.OpXORI:
+		c.SetReg(in.Rd, c.X[in.Rs1]^uint64(uint32(in.Imm)))
+	case isa.OpSLLI:
+		c.SetReg(in.Rd, c.X[in.Rs1]<<(uint(in.Imm)&63))
+	case isa.OpSRLI:
+		c.SetReg(in.Rd, c.X[in.Rs1]>>(uint(in.Imm)&63))
+	case isa.OpSRAI:
+		c.SetReg(in.Rd, uint64(int64(c.X[in.Rs1])>>(uint(in.Imm)&63)))
+	case isa.OpSLTI:
+		c.SetReg(in.Rd, boolTo64(int64(c.X[in.Rs1]) < int64(in.Imm)))
+	case isa.OpSLTIU:
+		c.SetReg(in.Rd, boolTo64(c.X[in.Rs1] < uint64(int64(in.Imm))))
+	case isa.OpLUI:
+		c.SetReg(in.Rd, uint64(int64(in.Imm))<<16)
+
+	// ---- loads / stores ----
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLWU, isa.OpLD:
+		return c.execLoad(in)
+	case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+		return c.execStore(in)
+
+	// ---- control flow ----
+	case isa.OpBEQ:
+		return c.branch(in, c.X[in.Rs1] == c.X[in.Rs2])
+	case isa.OpBNE:
+		return c.branch(in, c.X[in.Rs1] != c.X[in.Rs2])
+	case isa.OpBLT:
+		return c.branch(in, int64(c.X[in.Rs1]) < int64(c.X[in.Rs2]))
+	case isa.OpBGE:
+		return c.branch(in, int64(c.X[in.Rs1]) >= int64(c.X[in.Rs2]))
+	case isa.OpBLTU:
+		return c.branch(in, c.X[in.Rs1] < c.X[in.Rs2])
+	case isa.OpBGEU:
+		return c.branch(in, c.X[in.Rs1] >= c.X[in.Rs2])
+	case isa.OpJAL:
+		c.SetReg(in.Rd, c.PC+4)
+		c.PC += uint64(int64(in.Imm))
+		return Exit{}, false
+	case isa.OpJALR:
+		target := (c.X[in.Rs1] + uint64(int64(in.Imm))) &^ 1
+		c.SetReg(in.Rd, c.PC+4)
+		c.PC = target
+		return Exit{}, false
+
+	// ---- system ----
+	case isa.OpECALL:
+		if !c.Deprivileged && c.Priv == PrivU {
+			// Native/HW-assist syscall: vectors straight into the guest
+			// kernel without VMM involvement.
+			c.InjectTrap(isa.CauseEcallU, 0)
+			return Exit{}, false
+		}
+		return c.vmExit(Exit{Reason: ExitEcall, From: c.Priv}), true
+	case isa.OpEBREAK:
+		if e, exited := c.guestTrap(isa.CauseBreakpoint, c.PC); exited {
+			return e, true
+		}
+		return Exit{}, false
+	case isa.OpSRET:
+		if c.Priv != PrivS {
+			return c.illegal(raw)
+		}
+		if c.Deprivileged {
+			return c.vmExit(Exit{Reason: ExitPriv, Inst: in}), true
+		}
+		c.ExecuteSRET()
+		return Exit{}, false
+	case isa.OpWFI:
+		if c.Priv != PrivS {
+			return c.illegal(raw)
+		}
+		c.PC += 4
+		if c.CSR.Sip&c.CSR.Sie != 0 {
+			return Exit{}, false // already pending: WFI is a no-op
+		}
+		return c.vmExit(Exit{Reason: ExitWFI}), true
+	case isa.OpFENCE:
+		// No reordering to model.
+	case isa.OpSFENCE:
+		if c.Priv != PrivS {
+			return c.illegal(raw)
+		}
+		if c.Deprivileged {
+			return c.vmExit(Exit{Reason: ExitPriv, Inst: in}), true
+		}
+		c.MMU.Flush(c.X[in.Rs1], uint16(c.X[in.Rs2]))
+	case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC:
+		return c.execCSR(in, raw)
+	case isa.OpHALT:
+		if c.Priv != PrivS {
+			return c.illegal(raw)
+		}
+		c.PC += 4
+		return c.exit(Exit{Reason: ExitHalt, Code: uint16(in.Imm)}), true
+	default:
+		return c.illegal(raw)
+	}
+	c.PC += 4
+	return Exit{}, false
+}
+
+func (c *CPU) illegal(raw uint32) (Exit, bool) {
+	if e, exited := c.guestTrap(isa.CauseIllegal, uint64(raw)); exited {
+		return e, true
+	}
+	return Exit{}, false
+}
+
+func (c *CPU) branch(in isa.Inst, taken bool) (Exit, bool) {
+	if taken {
+		c.PC += uint64(int64(in.Imm))
+	} else {
+		c.PC += 4
+	}
+	return Exit{}, false
+}
+
+func loadMeta(op isa.Op) (size int, signed bool) {
+	switch op {
+	case isa.OpLB:
+		return 1, true
+	case isa.OpLBU:
+		return 1, false
+	case isa.OpLH:
+		return 2, true
+	case isa.OpLHU:
+		return 2, false
+	case isa.OpLW:
+		return 4, true
+	case isa.OpLWU:
+		return 4, false
+	default:
+		return 8, false
+	}
+}
+
+func storeSize(op isa.Op) int {
+	switch op {
+	case isa.OpSB:
+		return 1
+	case isa.OpSH:
+		return 2
+	case isa.OpSW:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func (c *CPU) execLoad(in isa.Inst) (Exit, bool) {
+	size, signed := loadMeta(in.Op)
+	va := c.X[in.Rs1] + uint64(int64(in.Imm))
+	if va&uint64(size-1) != 0 {
+		if e, exited := c.guestTrap(isa.CauseLoadMisaligned, va); exited {
+			return e, true
+		}
+		return Exit{}, false
+	}
+	gpa, ex, ok := c.translate(va, isa.AccRead)
+	if !ok {
+		return ex, ex.Reason != ExitNone
+	}
+	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
+		c.PC += 4
+		return c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
+			GPA: gpa, Size: uint8(size), Rd: in.Rd, Signed: signed,
+		}}), true
+	}
+	c.Cycles += c.Costs.MemAccess
+	v, f := c.Mem.ReadUint(gpa, size)
+	if f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			if e, exited := c.guestTrap(isa.CauseLoadAccess, va); exited {
+				return e, true
+			}
+			return Exit{}, false
+		}
+		return c.memFaultExit(va, isa.AccRead, f), true
+	}
+	if signed {
+		switch size {
+		case 1:
+			v = uint64(int64(int8(v)))
+		case 2:
+			v = uint64(int64(int16(v)))
+		case 4:
+			v = uint64(int64(int32(v)))
+		}
+	}
+	c.SetReg(in.Rd, v)
+	c.PC += 4
+	return Exit{}, false
+}
+
+func (c *CPU) execStore(in isa.Inst) (Exit, bool) {
+	size := storeSize(in.Op)
+	va := c.X[in.Rs1] + uint64(int64(in.Imm))
+	val := c.X[in.Rs2]
+	if va&uint64(size-1) != 0 {
+		if e, exited := c.guestTrap(isa.CauseStoreMisaligned, va); exited {
+			return e, true
+		}
+		return Exit{}, false
+	}
+	gpa, ex, ok := c.translate(va, isa.AccWrite)
+	if !ok {
+		return ex, ex.Reason != ExitNone
+	}
+	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
+		c.PC += 4
+		return c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
+			GPA: gpa, Size: uint8(size), Write: true, Value: val,
+		}}), true
+	}
+	c.Cycles += c.Costs.MemAccess
+	if f := c.Mem.WriteUint(gpa, size, val); f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			if e, exited := c.guestTrap(isa.CauseStoreAccess, va); exited {
+				return e, true
+			}
+			return Exit{}, false
+		}
+		return c.memFaultExit(va, isa.AccWrite, f), true
+	}
+	c.PC += 4
+	return Exit{}, false
+}
+
+func (c *CPU) execCSR(in isa.Inst, raw uint32) (Exit, bool) {
+	addr := uint16(in.Imm)
+	// Unprivileged counters execute directly in every regime.
+	if !isa.IsUserCSR(addr) {
+		if c.Priv != PrivS {
+			return c.illegal(raw)
+		}
+		if c.Deprivileged {
+			return c.vmExit(Exit{Reason: ExitPriv, Inst: in}), true
+		}
+	}
+	old, known := c.ReadCSR(addr)
+	if !known {
+		return c.illegal(raw)
+	}
+	src := c.X[in.Rs1]
+	var newVal uint64
+	write := true
+	switch in.Op {
+	case isa.OpCSRRW:
+		newVal = src
+	case isa.OpCSRRS:
+		newVal = old | src
+		write = in.Rs1 != 0
+	default: // CSRRC
+		newVal = old &^ src
+		write = in.Rs1 != 0
+	}
+	if write {
+		if !c.WriteCSR(addr, newVal) {
+			return c.illegal(raw)
+		}
+	}
+	c.SetReg(in.Rd, old)
+	c.PC += 4
+	return Exit{}, false
+}
+
+// EmulatePrivileged is the VMM-side emulation of an instruction that exited
+// with ExitPriv: it applies the same architectural semantics the hardware
+// would, against the virtual CSR file, and advances the PC. The emulation
+// work itself is charged separately by the caller.
+func (c *CPU) EmulatePrivileged(in isa.Inst) error {
+	switch in.Op {
+	case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC:
+		addr := uint16(in.Imm)
+		old, known := c.ReadCSR(addr)
+		if !known {
+			return fmt.Errorf("vcpu: emulate access to unknown CSR %#x", addr)
+		}
+		src := c.X[in.Rs1]
+		newVal := src
+		write := true
+		switch in.Op {
+		case isa.OpCSRRS:
+			newVal = old | src
+			write = in.Rs1 != 0
+		case isa.OpCSRRC:
+			newVal = old &^ src
+			write = in.Rs1 != 0
+		}
+		if write && !c.WriteCSR(addr, newVal) {
+			return fmt.Errorf("vcpu: emulated write to read-only CSR %s", isa.CSRName(addr))
+		}
+		c.SetReg(in.Rd, old)
+		c.PC += 4
+		return nil
+	case isa.OpSRET:
+		c.ExecuteSRET()
+		return nil
+	case isa.OpSFENCE:
+		c.MMU.Flush(c.X[in.Rs1], uint16(c.X[in.Rs2]))
+		c.PC += 4
+		return nil
+	default:
+		return fmt.Errorf("vcpu: cannot emulate %s", isa.Disasm(in))
+	}
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mulh64(a, b int64) (hi, lo int64) {
+	uhi, ulo := bits.Mul64(uint64(a), uint64(b))
+	h := int64(uhi)
+	if a < 0 {
+		h -= b
+	}
+	if b < 0 {
+		h -= a
+	}
+	return h, int64(ulo)
+}
+
+func div64(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return -1
+	case a == -1<<63 && b == -1:
+		return a
+	default:
+		return a / b
+	}
+}
+
+func rem64(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == -1<<63 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+func divu64(a, b uint64) uint64 {
+	if b == 0 {
+		return ^uint64(0)
+	}
+	return a / b
+}
+
+func remu64(a, b uint64) uint64 {
+	if b == 0 {
+		return a
+	}
+	return a % b
+}

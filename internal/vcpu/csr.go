@@ -1,0 +1,164 @@
+package vcpu
+
+import "govisor/internal/isa"
+
+// CSRFile holds the supervisor control and status registers of one vCPU.
+// Under trap-and-emulate these are the *virtual* CSRs the VMM maintains;
+// under native/hardware-assisted execution the interpreter accesses them
+// directly. Either way there is exactly one copy, so the VMM and the
+// interpreter can never disagree.
+type CSRFile struct {
+	Sstatus  uint64
+	Sie      uint64
+	Stvec    uint64
+	Sscratch uint64
+	Sepc     uint64
+	Scause   uint64
+	Stval    uint64
+	Sip      uint64
+	Stimecmp uint64
+	Satp     uint64
+}
+
+// ReadCSR returns the value of a CSR. Counter CSRs come from the CPU's
+// cycle state. The second result is false for unimplemented CSRs.
+func (c *CPU) ReadCSR(addr uint16) (uint64, bool) {
+	switch addr {
+	case isa.CSRSstatus:
+		return c.CSR.Sstatus, true
+	case isa.CSRSie:
+		return c.CSR.Sie, true
+	case isa.CSRStvec:
+		return c.CSR.Stvec, true
+	case isa.CSRSscratch:
+		return c.CSR.Sscratch, true
+	case isa.CSRSepc:
+		return c.CSR.Sepc, true
+	case isa.CSRScause:
+		return c.CSR.Scause, true
+	case isa.CSRStval:
+		return c.CSR.Stval, true
+	case isa.CSRSip:
+		return c.CSR.Sip, true
+	case isa.CSRStimecmp:
+		return c.CSR.Stimecmp, true
+	case isa.CSRSatp:
+		return c.CSR.Satp, true
+	case isa.CSRCycle, isa.CSRTime:
+		return c.Cycles, true
+	case isa.CSRInstret:
+		return c.Instret, true
+	case isa.CSRVenv:
+		return c.Venv, true
+	}
+	return 0, false
+}
+
+// WriteCSR stores v into a CSR, applying side effects (SATP installs the new
+// translation root; STIMECMP rearms the timer). Read-only CSRs return false.
+func (c *CPU) WriteCSR(addr uint16, v uint64) bool {
+	if isa.IsReadOnlyCSR(addr) {
+		return false
+	}
+	switch addr {
+	case isa.CSRSstatus:
+		c.CSR.Sstatus = v & (isa.StatusSIE | isa.StatusSPIE | isa.StatusSPP)
+	case isa.CSRSie:
+		c.CSR.Sie = v
+	case isa.CSRStvec:
+		c.CSR.Stvec = v &^ 3 // 4-byte aligned direct vector
+	case isa.CSRSscratch:
+		c.CSR.Sscratch = v
+	case isa.CSRSepc:
+		c.CSR.Sepc = v &^ 1
+	case isa.CSRScause:
+		c.CSR.Scause = v
+	case isa.CSRStval:
+		c.CSR.Stval = v
+	case isa.CSRSip:
+		c.CSR.Sip = v
+	case isa.CSRStimecmp:
+		c.CSR.Stimecmp = v
+		c.CSR.Sip &^= 1 << isa.IntTimer // rearming acknowledges the timer
+	case isa.CSRSatp:
+		c.CSR.Satp = v
+		c.MMU.SetSatp(v)
+	default:
+		return false
+	}
+	return true
+}
+
+// InjectTrap performs the architectural trap entry: it stacks the interrupt
+// enable and privilege, records the cause, and vectors to STVEC. The VMM
+// uses it to inject virtual traps and interrupts into a deprivileged guest;
+// the interpreter uses it directly when the guest runs fully privileged.
+func (c *CPU) InjectTrap(cause, tval uint64) {
+	c.CSR.Scause = cause
+	c.CSR.Stval = tval
+	c.CSR.Sepc = c.PC
+	st := c.CSR.Sstatus
+	// SPIE ← SIE, SIE ← 0, SPP ← current privilege.
+	st &^= isa.StatusSPIE | isa.StatusSPP
+	if st&isa.StatusSIE != 0 {
+		st |= isa.StatusSPIE
+	}
+	st &^= isa.StatusSIE
+	if c.Priv == PrivS {
+		st |= isa.StatusSPP
+	}
+	c.CSR.Sstatus = st
+	c.Priv = PrivS
+	c.PC = c.CSR.Stvec
+	c.Cycles += c.Costs.TrapEntry
+	c.Stats.Traps++
+}
+
+// ExecuteSRET performs the architectural return-from-trap: privilege and
+// interrupt state are unstacked and control returns to SEPC. The VMM calls
+// it when emulating a trapped SRET.
+func (c *CPU) ExecuteSRET() {
+	st := c.CSR.Sstatus
+	if st&isa.StatusSPP != 0 {
+		c.Priv = PrivS
+	} else {
+		c.Priv = PrivU
+	}
+	st &^= isa.StatusSIE
+	if st&isa.StatusSPIE != 0 {
+		st |= isa.StatusSIE
+	}
+	st |= isa.StatusSPIE
+	st &^= isa.StatusSPP
+	c.CSR.Sstatus = st
+	c.PC = c.CSR.Sepc
+}
+
+// PendingInterrupt returns the highest-priority deliverable interrupt
+// number, or 0 if none. Delivery requires the bit pending and enabled, and —
+// when running in S-mode — the global SIE bit; U-mode always takes enabled
+// interrupts.
+func (c *CPU) PendingInterrupt() uint64 {
+	deliverable := c.CSR.Sip & c.CSR.Sie
+	if deliverable == 0 {
+		return 0
+	}
+	if c.Priv == PrivS && c.CSR.Sstatus&isa.StatusSIE == 0 {
+		return 0
+	}
+	switch {
+	case deliverable&(1<<isa.IntExt) != 0:
+		return isa.IntExt
+	case deliverable&(1<<isa.IntTimer) != 0:
+		return isa.IntTimer
+	case deliverable&(1<<isa.IntSoft) != 0:
+		return isa.IntSoft
+	}
+	return 0
+}
+
+// RaiseIRQ marks interrupt line n pending (VMM / device side).
+func (c *CPU) RaiseIRQ(n uint64) { c.CSR.Sip |= 1 << n }
+
+// ClearIRQ clears a pending interrupt line.
+func (c *CPU) ClearIRQ(n uint64) { c.CSR.Sip &^= 1 << n }

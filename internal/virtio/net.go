@@ -1,0 +1,151 @@
+package virtio
+
+// NetHeaderSize is the virtio-net per-frame header the device skips over
+// (no offloads are modelled, so its contents are zero).
+const NetHeaderSize = 12
+
+// Virtio-net queue indices.
+const (
+	NetRXQueue = 0
+	NetTXQueue = 1
+)
+
+// NetBackend matches dev.NetBackend structurally.
+type NetBackend interface {
+	Send(frame []byte)
+	SetReceiver(fn func(frame []byte))
+}
+
+// Net is the virtio-net device model: an RX queue the guest posts empty
+// buffers into and a TX queue it posts frames on. Frames arriving while no
+// RX buffers are posted are queued up to a bounded depth, then dropped —
+// matching real NIC semantics.
+type Net struct {
+	link NetBackend
+	dev  *MMIODev
+
+	rxBacklog [][]byte
+
+	// Stats.
+	TxFrames, RxFrames, RxDropped uint64
+}
+
+const netBacklogDepth = 256
+
+// NewNet creates the model over a link (a vnet switch port).
+func NewNet(link NetBackend) *Net {
+	n := &Net{link: link}
+	if link != nil {
+		link.SetReceiver(n.receive)
+	}
+	return n
+}
+
+// Bind attaches the transport.
+func (n *Net) Bind(dev *MMIODev) { n.dev = dev }
+
+// DeviceID implements Backend.
+func (n *Net) DeviceID() uint32 { return IDNet }
+
+// NumQueues implements Backend.
+func (n *Net) NumQueues() int { return 2 }
+
+// ReadConfig implements Backend.
+func (n *Net) ReadConfig(off uint64, size int) uint64 { return 0 }
+
+// Process implements Backend.
+func (n *Net) Process(q *Queue, qi int) {
+	switch qi {
+	case NetTXQueue:
+		n.processTX(q)
+	case NetRXQueue:
+		// Fresh RX buffers posted: drain any backlog into them.
+		n.flushBacklog()
+	}
+}
+
+func (n *Net) processTX(q *Queue) {
+	completed := false
+	for {
+		ch, ok := q.Pop()
+		if !ok {
+			break
+		}
+		total := ch.ReadLen()
+		if total > NetHeaderSize {
+			buf := make([]byte, total)
+			off := 0
+			for _, d := range ch.Buf {
+				if d.Device {
+					continue
+				}
+				q.ReadFrom(d, buf[off:off+int(d.Len)])
+				off += int(d.Len)
+			}
+			frame := buf[NetHeaderSize:]
+			if n.link != nil {
+				n.link.Send(frame)
+			}
+			n.TxFrames++
+		}
+		q.Push(ch.Head, 0)
+		completed = true
+	}
+	if completed && n.dev != nil {
+		n.dev.SignalUsed()
+	}
+}
+
+// receive handles a frame from the link.
+func (n *Net) receive(frame []byte) {
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	n.rxBacklog = append(n.rxBacklog, cp)
+	if len(n.rxBacklog) > netBacklogDepth {
+		n.rxBacklog = n.rxBacklog[1:]
+		n.RxDropped++
+	}
+	n.flushBacklog()
+}
+
+func (n *Net) flushBacklog() {
+	if n.dev == nil {
+		return
+	}
+	q := n.dev.Queue(NetRXQueue)
+	if q == nil || !q.Ready() {
+		return
+	}
+	delivered := false
+	for len(n.rxBacklog) > 0 {
+		ch, ok := q.Pop()
+		if !ok {
+			break
+		}
+		frame := n.rxBacklog[0]
+		n.rxBacklog = n.rxBacklog[1:]
+		// Device writes header (zeros) + frame into the chain's buffers.
+		payload := make([]byte, NetHeaderSize+len(frame))
+		copy(payload[NetHeaderSize:], frame)
+		written := uint32(0)
+		off := 0
+		for _, d := range ch.Buf {
+			if !d.Device || off >= len(payload) {
+				continue
+			}
+			nb := int(d.Len)
+			if nb > len(payload)-off {
+				nb = len(payload) - off
+			}
+			q.WriteTo(d, payload[off:off+nb])
+			off += nb
+			written += uint32(nb)
+		}
+		q.Push(ch.Head, written)
+		n.RxFrames++
+		delivered = true
+	}
+	if delivered {
+		n.dev.SignalUsed()
+	}
+}

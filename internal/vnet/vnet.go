@@ -1,0 +1,133 @@
+// Package vnet implements the virtual L2 switch connecting VM network
+// devices. Frames carry 6-byte destination and source MAC addresses in their
+// first 12 bytes (Ethernet-style); the switch learns source addresses and
+// forwards unicast frames to the learned port, flooding unknown and
+// broadcast destinations. Delivery is synchronous and deterministic, which
+// keeps the networking experiments reproducible.
+package vnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// MAC is a 6-byte hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones MAC.
+var Broadcast = MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// String formats the address conventionally.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MACForVM derives a stable locally-administered MAC from a VM id.
+func MACForVM(id uint32) MAC {
+	return MAC{0x02, 0x67, 0x76, byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// Port is one switch attachment point. It satisfies dev.NetBackend.
+type Port struct {
+	sw       *Switch
+	id       int
+	receiver func(frame []byte)
+
+	TxFrames, RxFrames uint64
+}
+
+// Send transmits a frame from this port into the switch.
+func (p *Port) Send(frame []byte) {
+	p.TxFrames++
+	p.sw.forward(p, frame)
+}
+
+// SetReceiver registers the frame sink for this port.
+func (p *Port) SetReceiver(fn func(frame []byte)) { p.receiver = fn }
+
+func (p *Port) deliver(frame []byte) {
+	p.RxFrames++
+	if p.receiver != nil {
+		p.receiver(frame)
+	}
+}
+
+// Switch is a learning L2 switch.
+type Switch struct {
+	mu    sync.Mutex
+	ports []*Port
+	fdb   map[MAC]*Port // forwarding database: learned source → port
+
+	// Stats.
+	Forwarded, Flooded, Dropped uint64
+}
+
+// NewSwitch creates an empty switch.
+func NewSwitch() *Switch {
+	return &Switch{fdb: make(map[MAC]*Port)}
+}
+
+// NewPort attaches a new port.
+func (s *Switch) NewPort() *Port {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &Port{sw: s, id: len(s.ports)}
+	s.ports = append(s.ports, p)
+	return p
+}
+
+// Ports returns the number of attached ports.
+func (s *Switch) Ports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ports)
+}
+
+func frameMACs(frame []byte) (dst, src MAC, ok bool) {
+	if len(frame) < 12 {
+		return dst, src, false
+	}
+	copy(dst[:], frame[0:6])
+	copy(src[:], frame[6:12])
+	return dst, src, true
+}
+
+func (s *Switch) forward(from *Port, frame []byte) {
+	s.mu.Lock()
+	dst, src, ok := frameMACs(frame)
+	if !ok {
+		s.Dropped++
+		s.mu.Unlock()
+		return
+	}
+	s.fdb[src] = from
+	var targets []*Port
+	if dst != Broadcast {
+		if p, known := s.fdb[dst]; known && p != from {
+			targets = []*Port{p}
+			s.Forwarded++
+		}
+	}
+	if targets == nil {
+		// Flood: every port except the sender.
+		s.Flooded++
+		for _, p := range s.ports {
+			if p != from {
+				targets = append(targets, p)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, p := range targets {
+		p.deliver(frame)
+	}
+}
+
+// BuildFrame assembles dst|src|payload.
+func BuildFrame(dst, src MAC, payload []byte) []byte {
+	frame := make([]byte, 12+len(payload))
+	copy(frame[0:6], dst[:])
+	copy(frame[6:12], src[:])
+	copy(frame[12:], payload)
+	return frame
+}

@@ -1,0 +1,96 @@
+package vnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMACForVMStable(t *testing.T) {
+	if MACForVM(1) != MACForVM(1) {
+		t.Fatal("MAC not stable")
+	}
+	if MACForVM(1) == MACForVM(2) {
+		t.Fatal("MACs collide")
+	}
+	if MACForVM(7).String() == "" {
+		t.Fatal("formatting")
+	}
+}
+
+func TestFloodThenLearnedForward(t *testing.T) {
+	sw := NewSwitch()
+	a, b, c := sw.NewPort(), sw.NewPort(), sw.NewPort()
+	var gotB, gotC [][]byte
+	b.SetReceiver(func(f []byte) { gotB = append(gotB, f) })
+	c.SetReceiver(func(f []byte) { gotC = append(gotC, f) })
+
+	macA, macB := MACForVM(1), MACForVM(2)
+
+	// First frame A→B: unknown destination, flooded to B and C.
+	a.Send(BuildFrame(macB, macA, []byte("one")))
+	if len(gotB) != 1 || len(gotC) != 1 {
+		t.Fatalf("flood: B=%d C=%d", len(gotB), len(gotC))
+	}
+	// B replies: switch learns B's port; A is already learned.
+	b.Send(BuildFrame(macA, macB, []byte("two")))
+	// Second A→B: unicast to B only.
+	a.Send(BuildFrame(macB, macA, []byte("three")))
+	if len(gotB) != 2 {
+		t.Fatalf("B frames = %d", len(gotB))
+	}
+	if len(gotC) != 1 {
+		t.Fatalf("C should not see unicast: %d", len(gotC))
+	}
+	if sw.Forwarded != 2 || sw.Flooded != 1 {
+		t.Fatalf("stats fwd=%d flood=%d", sw.Forwarded, sw.Flooded)
+	}
+	if !bytes.Equal(gotB[1][12:], []byte("three")) {
+		t.Fatal("payload")
+	}
+}
+
+func TestBroadcastFloods(t *testing.T) {
+	sw := NewSwitch()
+	a, b, c := sw.NewPort(), sw.NewPort(), sw.NewPort()
+	nB, nC := 0, 0
+	b.SetReceiver(func([]byte) { nB++ })
+	c.SetReceiver(func([]byte) { nC++ })
+	a.Send(BuildFrame(Broadcast, MACForVM(1), []byte("hello")))
+	if nB != 1 || nC != 1 {
+		t.Fatalf("broadcast: B=%d C=%d", nB, nC)
+	}
+}
+
+func TestRuntFrameDropped(t *testing.T) {
+	sw := NewSwitch()
+	a := sw.NewPort()
+	_ = sw.NewPort()
+	a.Send([]byte{1, 2, 3})
+	if sw.Dropped != 1 {
+		t.Fatalf("dropped = %d", sw.Dropped)
+	}
+}
+
+func TestNoSelfDelivery(t *testing.T) {
+	sw := NewSwitch()
+	a := sw.NewPort()
+	self := 0
+	a.SetReceiver(func([]byte) { self++ })
+	a.Send(BuildFrame(Broadcast, MACForVM(1), nil))
+	if self != 0 {
+		t.Fatal("sender must not receive its own frame")
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	sw := NewSwitch()
+	a, b := sw.NewPort(), sw.NewPort()
+	b.SetReceiver(func([]byte) {})
+	a.Send(BuildFrame(Broadcast, MACForVM(1), nil))
+	if a.TxFrames != 1 || b.RxFrames != 1 {
+		t.Fatalf("counters tx=%d rx=%d", a.TxFrames, b.RxFrames)
+	}
+	if sw.Ports() != 2 {
+		t.Fatal("port count")
+	}
+}
