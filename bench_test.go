@@ -64,6 +64,7 @@ func BenchmarkA1_ParaBatching(b *testing.B)   { runExperiment(b, "A1") }
 func BenchmarkA2_ASIDFlush(b *testing.B)      { runExperiment(b, "A2") }
 func BenchmarkA3_PrecopyBounds(b *testing.B)  { runExperiment(b, "A3") }
 func BenchmarkA4_QueueDepth(b *testing.B)     { runExperiment(b, "A4") }
+func BenchmarkM1_ICache(b *testing.B)         { runExperiment(b, "M1") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

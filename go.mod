@@ -1,0 +1,3 @@
+module govisor
+
+go 1.22

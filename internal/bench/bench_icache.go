@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"govisor/internal/core"
+	"govisor/internal/gabi"
+	"govisor/internal/guest"
+	"govisor/internal/metrics"
+)
+
+// M1ICache: host-side interpreter throughput with the decoded-instruction
+// block cache on vs off, on the F3 privileged-density hot loop. This is a
+// microbenchmark of the simulator itself, not of the simulated machine: the
+// guest cycle counts must be byte-identical in both configurations (the
+// cache is architecturally invisible) while host nanoseconds per guest
+// instruction drop. Only the RunToHalt phase is timed — kernel assembly, VM
+// construction and boot are excluded — and both configurations get a warm-up
+// run before measurement.
+func M1ICache() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{
+		"mode", "config", "guest instrs", "guest cycles", "host ns/instr", "speedup", "hit rate",
+	}}
+
+	// The F3 hot loop: ALU work with one privileged CSR op per 50
+	// instructions, sized up so host timing dominates noise.
+	w := guest.Compute(20000, 50)
+
+	for _, mode := range []core.Mode{core.ModeNative, core.ModeTrap} {
+		type result struct {
+			vm     *core.VM
+			hostNs float64
+		}
+		run := func(noCache bool) (result, error) {
+			kernel, err := guest.BuildKernel()
+			if err != nil {
+				return result{}, err
+			}
+			vm, err := newVM(mode, func(c *core.Config) { c.NoICache = noCache })
+			if err != nil {
+				return result{}, err
+			}
+			w.Apply(vm)
+			if err := vm.Boot(kernel); err != nil {
+				return result{}, err
+			}
+			start := time.Now()
+			st := vm.RunToHalt(benchBudget)
+			elapsed := float64(time.Since(start).Nanoseconds())
+			if st != core.StateHalted || vm.HaltCode != 0 {
+				return result{}, fmt.Errorf("bench: M1 guest ended %v halt %#x cause %d",
+					st, vm.HaltCode, vm.Result(gabi.PResult3))
+			}
+			return result{vm, elapsed}, nil
+		}
+		// Warm both configurations so neither measurement pays first-run
+		// allocator and host-cache effects.
+		for _, warm := range []bool{true, false} {
+			if _, err := run(warm); err != nil {
+				return nil, err
+			}
+		}
+		off, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		// The transparency property, enforced at benchmark time: identical
+		// guest time and retired instructions with the cache on or off.
+		if on.vm.CPU.Cycles != off.vm.CPU.Cycles || on.vm.CPU.Instret != off.vm.CPU.Instret {
+			return nil, fmt.Errorf("bench: icache is not invisible: on (cyc=%d ret=%d) off (cyc=%d ret=%d)",
+				on.vm.CPU.Cycles, on.vm.CPU.Instret, off.vm.CPU.Cycles, off.vm.CPU.Instret)
+		}
+		instrs := float64(on.vm.CPU.Instret)
+		nsOff := off.hostNs / instrs
+		nsOn := on.hostNs / instrs
+		ic := on.vm.CPU.ICache
+		t.AddRow(mode.String(), "uncached", fmt.Sprintf("%.0f", instrs),
+			fmt.Sprint(off.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOff), "1.00x", "-")
+		t.AddRow(mode.String(), "block cache", fmt.Sprintf("%.0f", instrs),
+			fmt.Sprint(on.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOn),
+			fmt.Sprintf("%.2fx", nsOff/nsOn),
+			fmt.Sprintf("%.4f (%s)", ic.HitRate(), ic.Counters()))
+	}
+	return t, nil
+}

@@ -408,14 +408,12 @@ func (vm *VM) paraBatch(gpa, count uint64) uint64 {
 	if vm.Mode != ModePara || count > 4096 {
 		return gabi.HCEInval
 	}
+	var buf [gabi.BatchEntrySize]byte
 	for i := uint64(0); i < count; i++ {
-		base := gpa + i*24
-		va, f1 := vm.Mem.ReadUint(base, 8)
-		pa, f2 := vm.Mem.ReadUint(base+8, 8)
-		flags, f3 := vm.Mem.ReadUint(base+16, 8)
-		if f1 != nil || f2 != nil || f3 != nil {
+		if f := vm.Mem.Read(gpa+i*gabi.BatchEntrySize, buf[:]); f != nil {
 			return gabi.HCEInval
 		}
+		va, pa, flags := gabi.DecodeBatchEntry(buf[:])
 		if rc := vm.paraMap(va, pa, flags); rc != gabi.HCOK {
 			return rc
 		}

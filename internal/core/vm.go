@@ -121,6 +121,11 @@ type Config struct {
 	NoASID bool
 	// NestedLevels overrides the nested walk depth in ModeHW (default 3).
 	NestedLevels int
+	// NoICache disables the vCPU's decoded-instruction block cache. The
+	// cache is architecturally invisible (identical cycles, registers, CSRs
+	// and statistics either way) and on by default; turning it off exists
+	// for the differential transparency tests and host-side benchmarking.
+	NoICache bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -227,6 +232,9 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 	cpu.Venv = cfg.Mode.Venv()
 	if cfg.Costs != nil {
 		cpu.Costs = *cfg.Costs
+	}
+	if !cfg.NoICache {
+		cpu.ICache = vcpu.NewICache()
 	}
 
 	vm := &VM{

@@ -4,6 +4,8 @@
 // generators (internal/guest) import it, so the two sides can never drift.
 package gabi
 
+import "encoding/binary"
+
 // Guest-physical layout conventions.
 const (
 	// ParamBase is the guest-physical address of the boot parameter block
@@ -75,3 +77,23 @@ const (
 	HCEInval = ^uint64(0)     // -1: bad arguments
 	HCENoSys = ^uint64(0) - 1 // -2: unknown hypercall
 )
+
+// BatchEntrySize is the byte size of one HCMMUBatch entry in guest memory:
+// three little-endian u64 values {va, pa, flags}.
+const BatchEntrySize = 24
+
+// EncodeBatchEntry packs one HCMMUBatch entry into buf, which must be at
+// least BatchEntrySize bytes. The layout is the one the guest kernels build
+// with stores and the VMM decodes, so both sides share this one definition.
+func EncodeBatchEntry(buf []byte, va, pa, flags uint64) {
+	binary.LittleEndian.PutUint64(buf[0:], va)
+	binary.LittleEndian.PutUint64(buf[8:], pa)
+	binary.LittleEndian.PutUint64(buf[16:], flags)
+}
+
+// DecodeBatchEntry unpacks one HCMMUBatch entry from buf.
+func DecodeBatchEntry(buf []byte) (va, pa, flags uint64) {
+	return binary.LittleEndian.Uint64(buf[0:]),
+		binary.LittleEndian.Uint64(buf[8:]),
+		binary.LittleEndian.Uint64(buf[16:])
+}

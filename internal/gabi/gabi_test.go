@@ -1,0 +1,104 @@
+package gabi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLayoutInvariants: the guest-physical layout constants the kernels and
+// the VMM both rely on must stay mutually consistent.
+func TestLayoutInvariants(t *testing.T) {
+	if ParamBase+ParamSlots*8 > KernelBase {
+		t.Fatalf("parameter block [%#x, %#x) overlaps the kernel at %#x",
+			ParamBase, ParamBase+ParamSlots*8, KernelBase)
+	}
+	if KernelBase >= StackTop {
+		t.Fatalf("kernel base %#x above stack top %#x", KernelBase, StackTop)
+	}
+	if ParamBase%8 != 0 {
+		t.Fatalf("parameter block %#x not 8-byte aligned", ParamBase)
+	}
+	if KernelBase%4 != 0 {
+		t.Fatalf("kernel base %#x not instruction aligned", KernelBase)
+	}
+}
+
+// TestParamSlotsWellFormed: every named slot must fit the block, and the
+// result slots must not collide with the input slots.
+func TestParamSlotsWellFormed(t *testing.T) {
+	slots := []int{
+		PWorkload, PIterations, PWorkingSet, PStride, PWriteFrac,
+		PPrivDensity, PArg0, PArg1, PArg2, PHeapBase, PHeapPages, PSatp,
+		PChurnVA, PChurnPTE, PChurnPages, PResult0, PResult1, PResult2, PResult3,
+	}
+	seen := map[int]bool{}
+	for _, s := range slots {
+		if s < 0 || s >= ParamSlots {
+			t.Fatalf("slot %d outside the %d-slot block", s, ParamSlots)
+		}
+		if seen[s] {
+			t.Fatalf("slot %d assigned twice", s)
+		}
+		seen[s] = true
+	}
+	for _, r := range []int{PResult0, PResult1, PResult2, PResult3} {
+		if r <= PChurnPages {
+			t.Fatalf("result slot %d inside the input range", r)
+		}
+	}
+}
+
+// TestHypercallNumbersUnique: the ABI numbers must be dense and distinct —
+// a collision would silently dispatch the wrong service.
+func TestHypercallNumbersUnique(t *testing.T) {
+	nrs := []uint64{
+		HCPutchar, HCYield, HCSetTimer, HCMMUMap, HCMMUBatch, HCMMUUnmap,
+		HCFlushTLB, HCGetTime, HCMarker, HCPuts, HCExit,
+	}
+	seen := map[uint64]bool{}
+	for _, n := range nrs {
+		if seen[n] {
+			t.Fatalf("hypercall number %d assigned twice", n)
+		}
+		seen[n] = true
+	}
+	for _, w := range []uint64{WCompute, WMemTouch, WPTChurn, WSyscall, WCSR, WDirty, WIdle} {
+		if w > 16 {
+			t.Fatalf("workload id %d out of the expected small range", w)
+		}
+	}
+}
+
+// TestErrorCodesAreNegative: error returns occupy the top of the u64 range
+// (two's-complement negatives) and never collide with HCOK or each other.
+func TestErrorCodesAreNegative(t *testing.T) {
+	einval, enosys := uint64(HCEInval), uint64(HCENoSys)
+	if int64(einval) != -1 || int64(enosys) != -2 {
+		t.Fatalf("error codes: einval=%d enosys=%d", int64(einval), int64(enosys))
+	}
+	if HCOK == HCEInval || HCOK == HCENoSys || HCEInval == HCENoSys {
+		t.Fatal("error codes collide")
+	}
+}
+
+// TestBatchEntryRoundTrip: the HCMMUBatch wire format must round-trip
+// exactly for arbitrary values — the guest encodes with stores, the VMM
+// decodes with DecodeBatchEntry, and both sides compile against this.
+func TestBatchEntryRoundTrip(t *testing.T) {
+	roundTrip := func(va, pa, flags uint64) bool {
+		var buf [BatchEntrySize]byte
+		EncodeBatchEntry(buf[:], va, pa, flags)
+		gva, gpa, gflags := DecodeBatchEntry(buf[:])
+		return gva == va && gpa == pa && gflags == flags
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The layout is little-endian u64 triples at fixed offsets, matching the
+	// stores the generated kernels emit (sd at +0, +8, +16).
+	var buf [BatchEntrySize]byte
+	EncodeBatchEntry(buf[:], 0x0102030405060708, 0x1112131415161718, 0x2122232425262728)
+	if buf[0] != 0x08 || buf[8] != 0x18 || buf[16] != 0x28 {
+		t.Fatalf("layout not little-endian at 8-byte offsets: % x", buf)
+	}
+}

@@ -282,7 +282,7 @@ func emitPTChurn(b *asm.Builder) {
 	b.Store(isa.OpSD, isa.RegS9, isa.RegT3, 8) // pa (heap page 0)
 	b.Li(isa.RegT6, uint64(churnFlags))
 	b.Store(isa.OpSD, isa.RegT6, isa.RegT3, 16)
-	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, 24)
+	b.I(isa.OpADDI, isa.RegT3, isa.RegT3, gabi.BatchEntrySize)
 	b.Li(isa.RegT6, isa.PageSize)
 	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT6)
 	b.I(isa.OpADDI, isa.RegT5, isa.RegT5, 1)

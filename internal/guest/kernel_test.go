@@ -51,15 +51,23 @@ func bootAndRun(t *testing.T, mode core.Mode, w Workload) *core.VM {
 }
 
 func bootVM(t *testing.T, mode core.Mode, w Workload) *core.VM {
+	return bootVMCfg(t, mode, w, nil)
+}
+
+// bootVMCfg is bootVM with a config tweak hook (differential tests toggle
+// NoICache through it).
+func bootVMCfg(t *testing.T, mode core.Mode, w Workload, tweak func(*core.Config)) *core.VM {
 	t.Helper()
 	kernel, err := BuildKernel()
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool := mem.NewPool(testPool)
-	vm, err := core.NewVM(pool, core.Config{
-		Name: "t-" + mode.String(), Mode: mode, MemBytes: testRAM,
-	})
+	cfg := core.Config{Name: "t-" + mode.String(), Mode: mode, MemBytes: testRAM}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	vm, err := core.NewVM(pool, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,6 +66,14 @@ type GuestPhys struct {
 	pinned  []uint64
 	present uint64 // count of mapped pages
 
+	// ver holds one content-version counter per page, bumped by every event
+	// that can change what a read of the page returns: guest stores,
+	// privileged VMM writes, demand population, ballooning unmap, migration
+	// page copies, and remaps from dedup or cloning. Caches of derived page
+	// content (the vCPU's decoded-instruction cache) validate with a single
+	// compare against PageVersion instead of registering callbacks.
+	ver []uint64
+
 	// Stats visible to experiments.
 	DirtySets   uint64 // writes that newly dirtied a page
 	COWBreaks   uint64
@@ -85,6 +93,7 @@ func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
 		wprot:  make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
 		cow:    make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
 		pinned: make([]uint64, (np+wordsPerBitmap-1)/wordsPerBitmap),
+		ver:    make([]uint64, np),
 	}
 	for i := range g.hfn {
 		g.hfn[i] = NoFrame
@@ -111,6 +120,22 @@ func bit(bm []uint64, i uint64) bool { return bm[i/wordsPerBitmap]&(1<<(i%wordsP
 func setBit(bm []uint64, i uint64)   { bm[i/wordsPerBitmap] |= 1 << (i % wordsPerBitmap) }
 func clearBit(bm []uint64, i uint64) { bm[i/wordsPerBitmap] &^= 1 << (i % wordsPerBitmap) }
 
+// PageVersion returns the content-version counter of gfn. Any two calls that
+// return the same value bracket a window in which the page's readable content
+// (including its presence) did not change, so derived caches keyed on it stay
+// coherent across self-modifying code, ballooning, dedup remaps, COW breaks
+// and migration page copies without invalidation callbacks.
+func (g *GuestPhys) PageVersion(gfn uint64) uint64 {
+	if gfn >= g.npages {
+		return 0
+	}
+	return g.ver[gfn]
+}
+
+// bumpVersion invalidates derived caches of gfn's content. Callers guarantee
+// gfn < npages.
+func (g *GuestPhys) bumpVersion(gfn uint64) { g.ver[gfn]++ }
+
 // Frame returns the host frame mapped at gfn, or NoFrame.
 func (g *GuestPhys) Frame(gfn uint64) uint64 {
 	if gfn >= g.npages {
@@ -131,6 +156,7 @@ func (g *GuestPhys) Map(gfn, hfn uint64) {
 		g.present++
 	}
 	g.hfn[gfn] = hfn
+	g.bumpVersion(gfn)
 }
 
 // MapShared installs hfn at gfn as a shared, copy-on-write page. The caller
@@ -160,6 +186,7 @@ func (g *GuestPhys) Unmap(gfn uint64) {
 	g.present--
 	clearBit(g.cow, gfn)
 	clearBit(g.wprot, gfn)
+	g.bumpVersion(gfn)
 }
 
 // Populate demand-allocates a zero frame at gfn if unmapped.
@@ -177,6 +204,7 @@ func (g *GuestPhys) Populate(gfn uint64) error {
 	g.hfn[gfn] = hfn
 	g.present++
 	g.DemandFills++
+	g.bumpVersion(gfn)
 	return nil
 }
 
@@ -305,6 +333,7 @@ func (g *GuestPhys) resolveWrite(gpa uint64) (uint64, *Fault) {
 		setBit(g.dirty, gfn)
 		g.DirtySets++
 	}
+	g.bumpVersion(gfn)
 	return hfn, nil
 }
 
@@ -450,6 +479,7 @@ func (g *GuestPhys) WriteRaw(gfn uint64, buf []byte) error {
 		clearBit(g.cow, gfn)
 	}
 	g.pool.WriteAt(g.hfn[gfn], 0, buf)
+	g.bumpVersion(gfn)
 	return nil
 }
 

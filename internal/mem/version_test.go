@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestPageVersionBumpsOnMutation: every path that can change what a read of
+// a page returns must bump its version; read paths must not. The decoded-
+// instruction cache's coherence rests entirely on this.
+func TestPageVersionBumpsOnMutation(t *testing.T) {
+	p := NewPool(64)
+	g := NewGuestPhys(p, 16*isa.PageSize)
+
+	v0 := g.PageVersion(3)
+
+	if err := g.Populate(3); err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.PageVersion(3)
+	if v1 == v0 {
+		t.Fatal("Populate did not bump the version")
+	}
+
+	if f := g.WriteUint(3*isa.PageSize+8, 8, 0xDEAD); f != nil {
+		t.Fatal(f)
+	}
+	v2 := g.PageVersion(3)
+	if v2 == v1 {
+		t.Fatal("WriteUint did not bump the version")
+	}
+
+	// Reads must not bump.
+	if _, f := g.ReadUint(3*isa.PageSize+8, 8); f != nil {
+		t.Fatal(f)
+	}
+	buf := make([]byte, 32)
+	if f := g.Read(3*isa.PageSize, buf); f != nil {
+		t.Fatal(f)
+	}
+	g.ReadRaw(3, buf)
+	if g.PageVersion(3) != v2 {
+		t.Fatal("read paths bumped the version")
+	}
+
+	if f := g.Write(3*isa.PageSize, []byte{1, 2, 3}); f != nil {
+		t.Fatal(f)
+	}
+	v3 := g.PageVersion(3)
+	if v3 == v2 {
+		t.Fatal("Write did not bump the version")
+	}
+
+	if f := g.WriteUintPriv(3*isa.PageSize, 4, 7); f != nil {
+		t.Fatal(f)
+	}
+	v4 := g.PageVersion(3)
+	if v4 == v3 {
+		t.Fatal("WriteUintPriv did not bump the version")
+	}
+
+	if err := g.WriteRaw(3, make([]byte, isa.PageSize)); err != nil {
+		t.Fatal(err)
+	}
+	v5 := g.PageVersion(3)
+	if v5 == v4 {
+		t.Fatal("WriteRaw did not bump the version")
+	}
+
+	g.Unmap(3)
+	v6 := g.PageVersion(3)
+	if v6 == v5 {
+		t.Fatal("Unmap did not bump the version")
+	}
+}
+
+// TestPageVersionBumpsOnRemap: dedup-style remaps and COW breaks are remap
+// events a code cache must observe.
+func TestPageVersionBumpsOnRemap(t *testing.T) {
+	p := NewPool(64)
+	g := NewGuestPhys(p, 16*isa.PageSize)
+	if err := g.Populate(1); err != nil {
+		t.Fatal(err)
+	}
+
+	hfn, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := g.PageVersion(1)
+	g.Map(1, hfn)
+	if g.PageVersion(1) == v {
+		t.Fatal("Map did not bump the version")
+	}
+
+	// Shared mapping, then a write that breaks COW: the write itself must
+	// bump (the frame changes underneath the gfn).
+	other, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.IncRef(other)
+	g.MapShared(2, other)
+	v = g.PageVersion(2)
+	if f := g.WriteUint(2*isa.PageSize, 8, 42); f != nil {
+		t.Fatal(f)
+	}
+	if g.PageVersion(2) == v {
+		t.Fatal("COW-breaking write did not bump the version")
+	}
+	if g.Frame(2) == other {
+		t.Fatal("COW was not broken")
+	}
+}
+
+// TestPageVersionOutOfRange: beyond-RAM queries are stable zeros, never a
+// panic (the fetch path probes with raw gpa>>shift values).
+func TestPageVersionOutOfRange(t *testing.T) {
+	g := NewGuestPhys(NewPool(8), 4*isa.PageSize)
+	if v := g.PageVersion(1 << 40); v != 0 {
+		t.Fatalf("out-of-range version = %d", v)
+	}
+}

@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterSetAccumulatesAndOrders(t *testing.T) {
+	var s CounterSet
+	s.Add("hits", 3)
+	s.Add("misses", 1)
+	s.Add("hits", 2)
+	if got := s.Get("hits"); got != 5 {
+		t.Fatalf("hits = %d", got)
+	}
+	if got := s.Get("absent"); got != 0 {
+		t.Fatalf("absent = %d", got)
+	}
+	all := s.All()
+	if len(all) != 2 || all[0].Name != "hits" || all[1].Name != "misses" {
+		t.Fatalf("order lost: %+v", all)
+	}
+	if got := s.String(); got != "hits=5 misses=1" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestCounterSetTable(t *testing.T) {
+	var s CounterSet
+	s.Add("icache_hits", 42)
+	out := s.Table().String()
+	if !strings.Contains(out, "icache_hits") || !strings.Contains(out, "42") {
+		t.Fatalf("table missing counter:\n%s", out)
+	}
+}

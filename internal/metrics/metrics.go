@@ -89,6 +89,63 @@ func (h *Histogram) String() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
+// Counter is one named monotonic count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// CounterSet is an ordered collection of named counters — the conventional
+// way subsystems surface hit/miss-style statistics to the benchmark tables.
+type CounterSet struct {
+	counters []Counter
+}
+
+// Add appends (or accumulates into) the named counter.
+func (s *CounterSet) Add(name string, v uint64) {
+	for i := range s.counters {
+		if s.counters[i].Name == name {
+			s.counters[i].Value += v
+			return
+		}
+	}
+	s.counters = append(s.counters, Counter{Name: name, Value: v})
+}
+
+// Get returns the named counter's value, or 0 if absent.
+func (s *CounterSet) Get(name string) uint64 {
+	for _, c := range s.counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// All returns the counters in insertion order.
+func (s *CounterSet) All() []Counter { return s.counters }
+
+// Table renders the set as a two-column table.
+func (s *CounterSet) Table() *Table {
+	t := &Table{Header: []string{"counter", "value"}}
+	for _, c := range s.counters {
+		t.AddRow(c.Name, fmt.Sprint(c.Value))
+	}
+	return t
+}
+
+// String renders the set compactly: "a=1 b=2".
+func (s *CounterSet) String() string {
+	var b strings.Builder
+	for i, c := range s.counters {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c.Name, c.Value)
+	}
+	return b.String()
+}
+
 // JainIndex computes Jain's fairness index over per-party allocations:
 // (Σx)² / (n·Σx²). 1.0 is perfectly fair; 1/n is maximally unfair.
 func JainIndex(shares []float64) float64 {

@@ -106,6 +106,26 @@ type Context struct {
 
 	Satp  uint64
 	Stats Stats
+
+	fetch fetchMemo
+}
+
+// fetchMemo caches the last successful instruction-fetch translation. It is
+// usable only while nothing that could change the outcome has happened: same
+// SATP (same address space and paging mode), same privilege, same virtual
+// page, and no TLB insert or flush since (checked against the TLB generation
+// counter). On a hit TranslateFetch replays exactly the bookkeeping the full
+// path would perform — translation count, LRU stamp, TLB hit count — so the
+// memo is invisible to both the cycle model and the statistics.
+type fetchMemo struct {
+	valid bool
+	paged bool
+	user  bool
+	satp  uint64
+	vpn   uint64
+	gen   uint64
+	entry *tlb.Entry
+	ppn   uint64
 }
 
 // NewContext builds a context with the default TLB geometry.
@@ -185,6 +205,47 @@ func (c *Context) Translate(va uint64, acc isa.Access, userMode bool) (gpa uint6
 		return c.translateShadow(va, acc, userMode, asid)
 	default:
 		return c.translateWalk(va, acc, userMode, asid)
+	}
+}
+
+// TranslateFetch is Translate specialized for instruction fetch (AccExec).
+// Behaviour, cycle charging and every statistic are identical to calling
+// Translate(va, isa.AccExec, userMode); consecutive fetches from the same
+// page skip the TLB set scan through a one-entry memo that is revalidated
+// against SATP, the privilege level and the TLB generation on every call.
+func (c *Context) TranslateFetch(va uint64, userMode bool) (gpa uint64, refs int, fault *Fault) {
+	m := &c.fetch
+	if m.valid && c.Satp == m.satp && userMode == m.user && va>>isa.PageShift == m.vpn {
+		if !m.paged {
+			c.Stats.Translations++
+			return va, 0, nil
+		}
+		if c.TLB.Gen() == m.gen {
+			c.Stats.Translations++
+			c.TLB.Touch(m.entry)
+			return m.ppn<<isa.PageShift | va&isa.PageMask, 0, nil
+		}
+	}
+	m.valid = false
+	c.Stats.Translations++
+	if !c.Enabled() {
+		*m = fetchMemo{valid: true, satp: c.Satp, user: userMode, vpn: va >> isa.PageShift}
+		return va, 0, nil
+	}
+	asid := c.asid()
+	if e, ok := c.TLB.LookupRef(asid, va); ok {
+		if f := c.checkTLBPerms(e.Perms, isa.AccExec, userMode, va); f != nil {
+			return 0, 0, f
+		}
+		*m = fetchMemo{valid: true, paged: true, satp: c.Satp, user: userMode,
+			vpn: va >> isa.PageShift, gen: c.TLB.Gen(), entry: e, ppn: e.PPN}
+		return e.PPN<<isa.PageShift | va&isa.PageMask, 0, nil
+	}
+	switch c.Style {
+	case StyleShadow:
+		return c.translateShadow(va, isa.AccExec, userMode, asid)
+	default:
+		return c.translateWalk(va, isa.AccExec, userMode, asid)
 	}
 }
 

@@ -1,0 +1,95 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestTranslateFetchEquivalence drives two identical translation contexts
+// with the same randomized stream of fetches, data accesses, flushes and
+// SATP rewrites. One translates fetches with the generic Translate, the
+// other with the memoized TranslateFetch. Results, faults, reference counts
+// and every statistic (including TLB LRU-driven eviction behaviour) must be
+// identical at every step — the memo must be invisible to the simulation.
+func TestTranslateFetchEquivalence(t *testing.T) {
+	build := func() (*Context, uint64) {
+		g := newSpace(t, 128)
+		root := buildIdentity(t, g, 64*isa.PageSize, 96,
+			isa.PTERead|isa.PTEWrite|isa.PTEExec)
+		c := NewContext(g, StyleDirect)
+		c.SetSatp(isa.MakeSatp(isa.SatpModePaged, 1, root))
+		return c, root
+	}
+	ref, rootA := build()
+	fast, rootB := build()
+	if rootA != rootB {
+		t.Fatalf("roots differ: %d vs %d", rootA, rootB)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	check := func(step int, gr, gf uint64, rr, rf int, fr, ff *Fault) {
+		t.Helper()
+		if (fr == nil) != (ff == nil) {
+			t.Fatalf("step %d: fault mismatch %v vs %v", step, fr, ff)
+		}
+		if fr != nil && (fr.Kind != ff.Kind || fr.Cause != ff.Cause) {
+			t.Fatalf("step %d: fault detail mismatch %v vs %v", step, fr, ff)
+		}
+		if gr != gf || rr != rf {
+			t.Fatalf("step %d: result mismatch (%#x,%d) vs (%#x,%d)", step, gr, rr, gf, rf)
+		}
+		if ref.Stats != fast.Stats {
+			t.Fatalf("step %d: mmu stats diverged\nref  %+v\nfast %+v", step, ref.Stats, fast.Stats)
+		}
+		if ref.TLB.Stats != fast.TLB.Stats {
+			t.Fatalf("step %d: tlb stats diverged\nref  %+v\nfast %+v", step, ref.TLB.Stats, fast.TLB.Stats)
+		}
+	}
+
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(100); {
+		case op < 70:
+			// Instruction fetch, usually clustered on a few hot pages so the
+			// memo actually engages, sometimes beyond the mapped region so
+			// guest faults replay too.
+			var va uint64
+			switch rng.Intn(10) {
+			case 0:
+				va = uint64(rng.Intn(80)) << isa.PageShift // may fault
+			default:
+				va = uint64(rng.Intn(3))<<isa.PageShift + uint64(rng.Intn(1024))*4
+			}
+			user := rng.Intn(8) == 0
+			gr, rr, fr := ref.Translate(va, isa.AccExec, user)
+			gf, rf, ff := fast.TranslateFetch(va, user)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 90:
+			// Data access: inserts and LRU churn that can evict the fetch
+			// entry underneath the memo.
+			va := uint64(rng.Intn(64))<<isa.PageShift + uint64(rng.Intn(512))*8
+			acc := isa.AccRead
+			if rng.Intn(2) == 0 {
+				acc = isa.AccWrite
+			}
+			gr, rr, fr := ref.Translate(va, acc, false)
+			gf, rf, ff := fast.Translate(va, acc, false)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 96:
+			// SFENCE of one page or the whole space.
+			va := uint64(rng.Intn(64)) << isa.PageShift
+			if rng.Intn(4) == 0 {
+				va = 0
+			}
+			ref.Flush(va, 0)
+			fast.Flush(va, 0)
+		default:
+			// SATP rewrite (same root): exercises the memo's satp guard and,
+			// without ASIDs, a full flush.
+			satp := isa.MakeSatp(isa.SatpModePaged, uint16(1+rng.Intn(2)), rootA)
+			ref.SetSatp(satp)
+			fast.SetSatp(satp)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package tlb
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestTouchMatchesLookup: replaying a hit with Touch must leave the TLB in
+// exactly the state a full Lookup would — same stats, same LRU outcome.
+func TestTouchMatchesLookup(t *testing.T) {
+	a := New(4, 2)
+	b := New(4, 2)
+	va := uint64(5 << isa.PageShift)
+	a.Insert(1, va, 99, PermR|PermX, false)
+	b.Insert(1, va, 99, PermR|PermX, false)
+
+	// a: two plain lookups. b: one LookupRef then one Touch replay.
+	a.Lookup(1, va)
+	a.Lookup(1, va)
+	e, ok := b.LookupRef(1, va)
+	if !ok {
+		t.Fatal("miss on inserted entry")
+	}
+	b.Touch(e)
+
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if a.clock != b.clock {
+		t.Fatalf("clock diverged: %d vs %d", a.clock, b.clock)
+	}
+
+	// After identical further pressure, both must evict the same way.
+	for i := uint64(0); i < 4; i++ {
+		conflict := (5 + (i+1)*4) << isa.PageShift
+		a.Insert(1, conflict, 100+i, PermR, false)
+		b.Insert(1, conflict, 100+i, PermR, false)
+	}
+	ea, oka := a.Lookup(1, va)
+	eb, okb := b.Lookup(1, va)
+	if oka != okb || ea.PPN != eb.PPN {
+		t.Fatalf("post-pressure state diverged: (%v %v) vs (%v %v)", ea, oka, eb, okb)
+	}
+}
+
+// TestGenTracksStructuralChanges: Gen must change on every insert and flush
+// (the events that can change what a scan returns) and stay put on lookups.
+func TestGenTracksStructuralChanges(t *testing.T) {
+	tl := NewDefault()
+	g0 := tl.Gen()
+	tl.Insert(1, 0x1000, 2, PermR|PermX, false)
+	g1 := tl.Gen()
+	if g1 == g0 {
+		t.Fatal("Insert did not change Gen")
+	}
+	tl.Lookup(1, 0x1000)
+	if tl.Gen() != g1 {
+		t.Fatal("Lookup changed Gen")
+	}
+	tl.FlushPage(1, 0x1000)
+	g2 := tl.Gen()
+	if g2 == g1 {
+		t.Fatal("FlushPage did not change Gen")
+	}
+	tl.FlushASID(1)
+	g3 := tl.Gen()
+	if g3 == g2 {
+		t.Fatal("FlushASID did not change Gen")
+	}
+	tl.FlushPageAllASIDs(0x1000)
+	g4 := tl.Gen()
+	if g4 == g3 {
+		t.Fatal("FlushPageAllASIDs did not change Gen")
+	}
+	tl.FlushAll()
+	if tl.Gen() == g4 {
+		t.Fatal("FlushAll did not change Gen")
+	}
+}

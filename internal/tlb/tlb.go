@@ -63,6 +63,7 @@ type TLB struct {
 	sets  [][]Entry
 	nsets uint64
 	clock uint64
+	gen   uint64 // structural generation: bumped by inserts and flushes
 	Stats Stats
 }
 
@@ -95,6 +96,18 @@ func (t *TLB) set(vpn uint64) []Entry { return t.sets[vpn&(t.nsets-1)] }
 
 // Lookup searches for a translation of va in address space asid.
 func (t *TLB) Lookup(asid uint16, va uint64) (Entry, bool) {
+	if e, ok := t.LookupRef(asid, va); ok {
+		return *e, true
+	}
+	return Entry{}, false
+}
+
+// LookupRef is Lookup returning a pointer to the live entry, for callers
+// that memoize the hit and replay it with Touch while Gen is unchanged. The
+// pointer stays valid for the TLB's lifetime (sets are never reallocated),
+// but the entry it addresses may be overwritten by later inserts — which is
+// exactly what a Gen change signals.
+func (t *TLB) LookupRef(asid uint16, va uint64) (*Entry, bool) {
 	vpn := va >> isa.PageShift
 	set := t.set(vpn)
 	for i := range set {
@@ -103,11 +116,26 @@ func (t *TLB) Lookup(asid uint16, va uint64) (Entry, bool) {
 			t.clock++
 			e.stamp = t.clock
 			t.Stats.Hits++
-			return *e, true
+			return e, true
 		}
 	}
 	t.Stats.Misses++
-	return Entry{}, false
+	return nil, false
+}
+
+// Gen returns the structural generation, which changes whenever set contents
+// change (insert or flush). While it is stable, a repeated Lookup of the same
+// (asid, va) would match the same entry with the same result, so the scan can
+// be replayed with Touch instead.
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// Touch replays the bookkeeping of a Lookup hit on e — LRU stamp refresh and
+// the hit count — without the set scan. Callers must have proven via Gen that
+// no insert or flush happened since e was returned by LookupRef.
+func (t *TLB) Touch(e *Entry) {
+	t.clock++
+	e.stamp = t.clock
+	t.Stats.Hits++
 }
 
 // Insert caches a translation, evicting the LRU way if the set is full.
@@ -132,6 +160,7 @@ func (t *TLB) Insert(asid uint16, va, ppn uint64, perms uint8, global bool) {
 	if set[victim].valid && set[victim].vpn != vpn {
 		t.Stats.Evictions++
 	}
+	t.gen++
 	t.clock++
 	set[victim] = Entry{
 		valid: true, global: global, asid: asid, vpn: vpn,
@@ -142,6 +171,7 @@ func (t *TLB) Insert(asid uint16, va, ppn uint64, perms uint8, global bool) {
 // FlushAll invalidates every entry (world switch without ASIDs, or
 // sfence.vma with zero operands when ASIDs are disabled).
 func (t *TLB) FlushAll() {
+	t.gen++
 	t.Stats.Flushes++
 	for _, set := range t.sets {
 		for i := range set {
@@ -155,6 +185,7 @@ func (t *TLB) FlushAll() {
 
 // FlushASID invalidates all non-global entries of one address space.
 func (t *TLB) FlushASID(asid uint16) {
+	t.gen++
 	t.Stats.Flushes++
 	for _, set := range t.sets {
 		for i := range set {
@@ -170,6 +201,7 @@ func (t *TLB) FlushASID(asid uint16) {
 // space (global entries for the page are also dropped — conservative, as the
 // architecture requires).
 func (t *TLB) FlushPage(asid uint16, va uint64) {
+	t.gen++
 	t.Stats.PageFlushes++
 	vpn := va >> isa.PageShift
 	set := t.set(vpn)
@@ -184,6 +216,7 @@ func (t *TLB) FlushPage(asid uint16, va uint64) {
 // regardless of address space (shadow-entry invalidation, which must kill
 // cached translations for roots that are not currently active).
 func (t *TLB) FlushPageAllASIDs(va uint64) {
+	t.gen++
 	t.Stats.PageFlushes++
 	vpn := va >> isa.PageShift
 	set := t.set(vpn)

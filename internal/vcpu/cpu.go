@@ -47,6 +47,12 @@ type CPU struct {
 	Cycles  uint64 // simulated time, 1 cycle = 1 ns
 	Instret uint64
 
+	// ICache, when non-nil, enables the decoded-instruction block cache on
+	// the fetch path. It is architecturally invisible: guest state, cycle
+	// accounting and all simulation statistics are identical with it on or
+	// off; only host-side speed changes.
+	ICache *ICache
+
 	Stats Stats
 }
 
@@ -125,6 +131,22 @@ func (c *CPU) translate(va uint64, acc isa.Access) (gpa uint64, ex Exit, ok bool
 	if fault == nil {
 		return gpa, Exit{}, true
 	}
+	return c.translateFault(va, acc, fault)
+}
+
+// fetchTranslate is translate for instruction fetch via the MMU's memoized
+// fetch path: identical cycle charges, faults and statistics, less host work
+// while the fetch stream stays on one page.
+func (c *CPU) fetchTranslate(va uint64) (gpa uint64, ex Exit, ok bool) {
+	gpa, refs, fault := c.MMU.TranslateFetch(va, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault == nil {
+		return gpa, Exit{}, true
+	}
+	return c.translateFault(va, isa.AccExec, fault)
+}
+
+func (c *CPU) translateFault(va uint64, acc isa.Access, fault *mmu.Fault) (gpa uint64, ex Exit, ok bool) {
 	switch fault.Kind {
 	case mmu.FaultGuest:
 		e, exited := c.guestTrap(fault.Cause, va)
@@ -168,51 +190,110 @@ func (c *CPU) Run(budget uint64) Exit {
 			continue
 		}
 
-		// Fetch.
+		// Fetch. With the decoded-instruction cache enabled, fetches that
+		// stay on a predecoded page with an unchanged content version skip
+		// the guest-RAM read and isa.Decode; translation still runs (via the
+		// MMU's exact memoized fetch path) so the TLB's LRU state, the walk
+		// cycle charges and every statistic evolve identically either way.
 		if c.PC&3 != 0 {
 			if e, exited := c.guestTrap(isa.CauseInstrMisaligned, c.PC); exited {
 				return e
 			}
 			continue
 		}
-		gpa, ex, ok := c.translate(c.PC, isa.AccExec)
-		if !ok {
-			if ex.Reason == ExitNone {
-				continue
+		var in isa.Inst
+		var raw uint32
+		if ic := c.ICache; ic != nil {
+			gpa, ex, ok := c.fetchTranslate(c.PC)
+			if !ok {
+				if ex.Reason == ExitNone {
+					continue
+				}
+				return ex
 			}
-			return ex
-		}
-		if c.IsMMIO != nil && !c.Mem.Contains(gpa) && c.IsMMIO(gpa) {
-			// Executing out of device space is an access fault.
-			if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
-				return e
-			}
-			continue
-		}
-		word, f := c.Mem.ReadUint(gpa, 4)
-		if f != nil {
-			if f.Kind == mem.FaultBeyondRAM {
-				if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
+			if p := ic.lookup(c.Mem, gpa>>isa.PageShift); p != nil {
+				// Lazy slot decode, spelled out here because the compiler
+				// will not inline it as a method and this is the hottest
+				// line in the simulator.
+				i := (gpa & isa.PageMask) >> 2
+				if p.valid[i>>6]&(1<<(i&63)) == 0 {
+					p.ins[i] = isa.Decode(p.raw[i])
+					p.valid[i>>6] |= 1 << (i & 63)
+				}
+				in, raw = p.ins[i], p.raw[i]
+			} else {
+				word, e, st := c.fetchWord(gpa)
+				if st == fetchExit {
 					return e
 				}
+				if st == fetchRetry {
+					continue
+				}
+				raw = uint32(word)
+				in = isa.Decode(raw)
+				ic.fill(c.Mem, gpa>>isa.PageShift)
+			}
+		} else {
+			gpa, ex, ok := c.translate(c.PC, isa.AccExec)
+			if !ok {
+				if ex.Reason == ExitNone {
+					continue
+				}
+				return ex
+			}
+			word, e, st := c.fetchWord(gpa)
+			if st == fetchExit {
+				return e
+			}
+			if st == fetchRetry {
 				continue
 			}
-			return c.memFaultExit(c.PC, isa.AccExec, f)
+			raw = uint32(word)
+			in = isa.Decode(raw)
 		}
-
-		in := isa.Decode(uint32(word))
 		if !in.Op.Valid() {
-			if e, exited := c.guestTrap(isa.CauseIllegal, uint64(uint32(word))); exited {
+			if e, exited := c.guestTrap(isa.CauseIllegal, uint64(raw)); exited {
 				return e
 			}
 			continue
 		}
 		c.Cycles += c.Costs.Instr
 		c.Instret++
-		if ex, done := c.execute(in, uint32(word)); done {
+		if ex, done := c.execute(in, raw); done {
 			return ex
 		}
 	}
+}
+
+// fetchWord outcomes.
+const (
+	fetchOK    = iota // word holds the instruction
+	fetchRetry        // a guest trap was delivered in place; restart the loop
+	fetchExit         // Run must return the Exit
+)
+
+// fetchWord performs the uncached instruction read at gpa: the executing-
+// from-device-space check and the guest-physical read, with the same fault
+// taxonomy the interpreter has always had.
+func (c *CPU) fetchWord(gpa uint64) (uint64, Exit, int) {
+	if c.IsMMIO != nil && !c.Mem.Contains(gpa) && c.IsMMIO(gpa) {
+		// Executing out of device space is an access fault.
+		if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
+			return 0, e, fetchExit
+		}
+		return 0, Exit{}, fetchRetry
+	}
+	word, f := c.Mem.ReadUint(gpa, 4)
+	if f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			if e, exited := c.guestTrap(isa.CauseInstrAccess, c.PC); exited {
+				return 0, e, fetchExit
+			}
+			return 0, Exit{}, fetchRetry
+		}
+		return 0, c.memFaultExit(c.PC, isa.AccExec, f), fetchExit
+	}
+	return word, Exit{}, fetchOK
 }
 
 // execute runs one decoded instruction. done reports that Run must return ex.

@@ -1,0 +1,133 @@
+package vcpu
+
+import (
+	"encoding/binary"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/metrics"
+)
+
+// instPerPage is how many 32-bit instruction slots one guest page holds.
+const instPerPage = isa.PageSize / 4
+
+// maxCachedPages bounds the cache's host memory (~12 KiB per page). Guests
+// execute from a handful of pages, so the bound only matters for pathological
+// code that jumps through all of RAM; hitting it drops the whole cache and
+// predecode refills on demand.
+const maxCachedPages = 1024
+
+// decodedPage is one guest code page in instruction form. Raw words are
+// captured when the page is filled; each slot's isa.Inst is decoded lazily
+// on first fetch (the valid bitmap tracks which), so a refill after
+// invalidation costs one page copy rather than a thousand decodes — a guest
+// that keeps storing to a page it executes from degrades gracefully instead
+// of falling off a predecode cliff.
+type decodedPage struct {
+	ver   uint64 // mem.GuestPhys.PageVersion at fill time
+	valid [instPerPage / 64]uint64
+	ins   [instPerPage]isa.Inst
+	raw   [instPerPage]uint32
+}
+
+// The lazy slot decode (check valid bit, isa.Decode on first touch) lives
+// inline in CPU.Run's fetch path: as a method it is beyond the compiler's
+// inlining budget and the call costs measurable ns per retired instruction.
+
+// ICacheStats counts decoded-instruction cache activity. All of it is
+// host-side bookkeeping: no counter here corresponds to any guest-visible
+// event, which is the point — the cache is architecturally invisible.
+type ICacheStats struct {
+	Hits          uint64 // fetches served from a cached page
+	Misses        uint64 // fetches from pages not in the cache
+	Invalidations uint64 // fetches that found a stale cached page
+	Predecodes    uint64 // pages (re)filled; slot decode is lazy on top
+}
+
+// ICache is the decoded-instruction block cache on the interpreter's fetch
+// path. Guest code pages are captured wholesale and decoded into isa.Inst
+// slots on first execution, keyed by guest-physical page; while the fetch
+// stream stays on a page whose mem.PageVersion is unchanged, the interpreter
+// skips the guest-RAM read and isa.Decode per instruction. Coherence is by
+// version validation rather than
+// invalidation callbacks: any write, demand fill, balloon unmap, dedup remap
+// or migration copy bumps the page's version, and the next fetch from the
+// page notices and re-predecodes. The cache carries no architectural state,
+// so cycles, instret, registers, CSRs and every simulation statistic are
+// byte-identical with the cache on or off.
+type ICache struct {
+	pages  map[uint64]*decodedPage
+	curGfn uint64 // one-entry MRU so streaming a page skips the map
+	cur    *decodedPage
+	buf    [isa.PageSize]byte
+	Stats  ICacheStats
+}
+
+// NewICache creates an empty decoded-instruction cache.
+func NewICache() *ICache {
+	return &ICache{pages: make(map[uint64]*decodedPage), curGfn: mem.NoFrame}
+}
+
+// lookup returns the predecoded page for gfn if it is still coherent with
+// guest memory, or nil — the caller then falls back to the uncached fetch
+// and calls fill.
+func (ic *ICache) lookup(g *mem.GuestPhys, gfn uint64) *decodedPage {
+	p := ic.cur
+	if gfn != ic.curGfn {
+		var ok bool
+		if p, ok = ic.pages[gfn]; !ok {
+			ic.Stats.Misses++
+			return nil
+		}
+		ic.curGfn, ic.cur = gfn, p
+	}
+	if p.ver != g.PageVersion(gfn) {
+		ic.Stats.Invalidations++
+		delete(ic.pages, gfn)
+		ic.curGfn, ic.cur = mem.NoFrame, nil
+		return nil
+	}
+	ic.Stats.Hits++
+	return p
+}
+
+// fill captures the raw words of the page at gfn; instruction decode happens
+// lazily per slot. It is called only after an uncached fetch from the page
+// succeeded, so the page is present in guest RAM; the raw read has no
+// guest-visible side effects (no dirty bits, no stats, no cycles).
+func (ic *ICache) fill(g *mem.GuestPhys, gfn uint64) {
+	if len(ic.pages) >= maxCachedPages {
+		ic.pages = make(map[uint64]*decodedPage)
+	}
+	p := &decodedPage{ver: g.PageVersion(gfn)}
+	g.ReadRaw(gfn, ic.buf[:])
+	for i := 0; i < instPerPage; i++ {
+		p.raw[i] = binary.LittleEndian.Uint32(ic.buf[i*4:])
+	}
+	ic.pages[gfn] = p
+	ic.curGfn, ic.cur = gfn, p
+	ic.Stats.Predecodes++
+}
+
+// HitRate returns hits / all lookups, or 0 when idle.
+func (ic *ICache) HitRate() float64 {
+	total := ic.Stats.Hits + ic.Stats.Misses + ic.Stats.Invalidations
+	if total == 0 {
+		return 0
+	}
+	return float64(ic.Stats.Hits) / float64(total)
+}
+
+// Pages returns the number of currently cached predecoded pages.
+func (ic *ICache) Pages() int { return len(ic.pages) }
+
+// Counters exposes the cache statistics as a metrics counter set, the form
+// the benchmark tables consume.
+func (ic *ICache) Counters() *metrics.CounterSet {
+	s := &metrics.CounterSet{}
+	s.Add("icache_hits", ic.Stats.Hits)
+	s.Add("icache_misses", ic.Stats.Misses)
+	s.Add("icache_invalidations", ic.Stats.Invalidations)
+	s.Add("icache_predecodes", ic.Stats.Predecodes)
+	return s
+}

@@ -1,0 +1,197 @@
+package vcpu
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/mmu"
+)
+
+// words assembles raw instruction words into a loadable image.
+func words(ins ...isa.Inst) []byte {
+	img := make([]byte, 4*len(ins))
+	for i, in := range ins {
+		binary.LittleEndian.PutUint32(img[i*4:], isa.Encode(in))
+	}
+	return img
+}
+
+// newCPUPair builds two CPUs over identical memory images: one with the
+// decoded-instruction cache, one without.
+func newCPUPair(t *testing.T, img []byte) (cached, plain *CPU) {
+	t.Helper()
+	build := func(on bool) *CPU {
+		g := mem.NewGuestPhys(mem.NewPool(ramPages*2), ramPages*isa.PageSize)
+		if err := g.PopulateAll(); err != nil {
+			t.Fatal(err)
+		}
+		if f := g.Write(0x1000, img); f != nil {
+			t.Fatal(f)
+		}
+		c := New(g, mmu.NewContext(g, mmu.StyleDirect))
+		c.Priv = PrivS
+		c.PC = 0x1000
+		if on {
+			c.ICache = NewICache()
+		}
+		return c
+	}
+	return build(true), build(false)
+}
+
+// smcProgram writes a replacement instruction over its own loop body between
+// the first and second iteration:
+//
+//	pass 1 executes "addi a0, a0, 11", then stores the encoding of
+//	"addi a0, a0, 100" over it; pass 2 must execute the new instruction.
+//
+// Final a0 is 111 iff the interpreter observes the store; a stale decoded
+// block would compute 22.
+func smcProgram() []byte {
+	newWord := isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 100})
+	img := words(
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegZero, Imm: 0},  // 0x1000
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegZero, Imm: 0},  // 0x1004
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 11},   // 0x1008 target
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegS0, Imm: 1},    // 0x100C
+		isa.Inst{Op: isa.OpSLTI, Rd: isa.RegT0, Rs1: isa.RegS0, Imm: 2},    // 0x1010
+		isa.Inst{Op: isa.OpBEQ, Rs1: isa.RegT0, Rs2: isa.RegZero, Imm: 16}, // 0x1014 → halt
+		isa.Inst{Op: isa.OpLW, Rd: isa.RegT1, Rs1: isa.RegZero, Imm: 0x1030},
+		isa.Inst{Op: isa.OpSW, Rs2: isa.RegT1, Rs1: isa.RegZero, Imm: 0x1008},
+		isa.Inst{Op: isa.OpJAL, Rd: isa.RegZero, Imm: -24}, // 0x1020 → 0x1008
+		isa.Inst{Op: isa.OpHALT}, // 0x1024
+	)
+	img = append(img, make([]byte, 0x1030-0x1000-len(img))...)
+	var data [4]byte
+	binary.LittleEndian.PutUint32(data[:], newWord)
+	return append(img, data[:]...)
+}
+
+// TestICacheSelfModifyingCode: the decoded cache must observe stores to code
+// pages (the per-page version bump) and re-predecode, exactly matching the
+// uncached interpreter.
+func TestICacheSelfModifyingCode(t *testing.T) {
+	cached, plain := newCPUPair(t, smcProgram())
+	exC := cached.Run(1_000_000)
+	exP := plain.Run(1_000_000)
+	if exC.Reason != ExitHalt || exP.Reason != ExitHalt {
+		t.Fatalf("exits: cached %v plain %v", exC, exP)
+	}
+	if got := cached.X[isa.RegA0]; got != 111 {
+		t.Fatalf("cached a0 = %d, want 111 (stale decoded block?)", got)
+	}
+	if cached.X != plain.X || cached.Cycles != plain.Cycles ||
+		cached.Instret != plain.Instret || cached.PC != plain.PC {
+		t.Fatalf("state diverged: cached (a0=%d cyc=%d ret=%d) plain (a0=%d cyc=%d ret=%d)",
+			cached.X[isa.RegA0], cached.Cycles, cached.Instret,
+			plain.X[isa.RegA0], plain.Cycles, plain.Instret)
+	}
+	st := cached.ICache.Stats
+	if st.Invalidations == 0 {
+		t.Errorf("self-modifying store did not invalidate: %+v", st)
+	}
+	if st.Predecodes < 2 {
+		t.Errorf("expected re-predecode after invalidation: %+v", st)
+	}
+}
+
+// TestICacheStreamsHotLoop: a tight loop must be served almost entirely from
+// the decoded cache, with identical architectural outcome.
+func TestICacheStreamsHotLoop(t *testing.T) {
+	// for s0 = 1000; s0 != 0; s0-- { a0 += 3 }
+	img := words(
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegZero, Imm: 1000},
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 3},
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegS0, Imm: -1},
+		isa.Inst{Op: isa.OpBNE, Rs1: isa.RegS0, Rs2: isa.RegZero, Imm: -8},
+		isa.Inst{Op: isa.OpHALT},
+	)
+	cached, plain := newCPUPair(t, img)
+	exC, exP := cached.Run(1_000_000), plain.Run(1_000_000)
+	if exC.Reason != ExitHalt || exP.Reason != ExitHalt {
+		t.Fatalf("exits: cached %v plain %v", exC, exP)
+	}
+	if cached.X != plain.X || cached.Cycles != plain.Cycles || cached.Instret != plain.Instret {
+		t.Fatal("cached and plain interpreters diverged")
+	}
+	st := cached.ICache.Stats
+	if st.Hits < 3000 {
+		t.Errorf("hot loop barely hit the cache: %+v", st)
+	}
+	if got := cached.ICache.HitRate(); got < 0.99 {
+		t.Errorf("hit rate = %.3f", got)
+	}
+	if cached.ICache.Pages() == 0 {
+		t.Error("no pages cached")
+	}
+	// The counter surface the benchmarks consume.
+	cs := cached.ICache.Counters()
+	if cs.Get("icache_hits") != st.Hits || cs.Get("icache_predecodes") != st.Predecodes {
+		t.Errorf("counter set out of sync: %v vs %+v", cs, st)
+	}
+}
+
+// TestICacheQuantumAndTraps: cache behaviour across quantum expiry, guest
+// traps (illegal instruction vectoring through STVEC) and re-entry must be
+// invisible.
+func TestICacheQuantumAndTraps(t *testing.T) {
+	// STVEC handler at 0x1100 skips the faulting instruction via sepc += 4.
+	img := words(
+		isa.Inst{Op: isa.OpCSRRW, Rd: isa.RegZero, Rs1: isa.RegT0, Imm: int32(isa.CSRStvec)}, // t0 preset
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegZero, Imm: 200},
+		isa.Inst{Op: isa.OpIllegal}, // traps every iteration (loop re-enters here)
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 7},
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegS0, Rs1: isa.RegS0, Imm: -1},
+		isa.Inst{Op: isa.OpBNE, Rs1: isa.RegS0, Rs2: isa.RegZero, Imm: -12},
+		isa.Inst{Op: isa.OpHALT},
+	)
+	// Handler: csrr t1, sepc; addi t1, t1, 4; csrw sepc, t1; sret
+	handler := words(
+		isa.Inst{Op: isa.OpCSRRS, Rd: isa.RegT1, Rs1: isa.RegZero, Imm: int32(isa.CSRSepc)},
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegT1, Rs1: isa.RegT1, Imm: 4},
+		isa.Inst{Op: isa.OpCSRRW, Rd: isa.RegZero, Rs1: isa.RegT1, Imm: int32(isa.CSRSepc)},
+		isa.Inst{Op: isa.OpSRET},
+	)
+	run := func(on bool) *CPU {
+		g := mem.NewGuestPhys(mem.NewPool(ramPages*2), ramPages*isa.PageSize)
+		if err := g.PopulateAll(); err != nil {
+			t.Fatal(err)
+		}
+		if f := g.Write(0x1000, img); f != nil {
+			t.Fatal(f)
+		}
+		if f := g.Write(0x1100, handler); f != nil {
+			t.Fatal(f)
+		}
+		c := New(g, mmu.NewContext(g, mmu.StyleDirect))
+		c.Priv = PrivS
+		c.PC = 0x1000
+		c.X[isa.RegT0] = 0x1100
+		if on {
+			c.ICache = NewICache()
+		}
+		// Tiny quanta force many exits/re-entries mid-stream.
+		for {
+			ex := c.Run(50)
+			if ex.Reason == ExitHalt {
+				return c
+			}
+			if ex.Reason != ExitQuantum {
+				t.Fatalf("unexpected exit %v at pc %#x", ex, c.PC)
+			}
+		}
+	}
+	cached, plain := run(true), run(false)
+	if cached.X != plain.X || cached.Cycles != plain.Cycles ||
+		cached.Instret != plain.Instret || cached.CSR != plain.CSR ||
+		cached.Stats != plain.Stats {
+		t.Fatalf("diverged:\ncached cyc=%d ret=%d traps=%d\nplain  cyc=%d ret=%d traps=%d",
+			cached.Cycles, cached.Instret, cached.Stats.Traps,
+			plain.Cycles, plain.Instret, plain.Stats.Traps)
+	}
+	if cached.X[isa.RegA0] != 200*7 {
+		t.Fatalf("a0 = %d", cached.X[isa.RegA0])
+	}
+}
