@@ -65,6 +65,7 @@ func BenchmarkA2_ASIDFlush(b *testing.B)      { runExperiment(b, "A2") }
 func BenchmarkA3_PrecopyBounds(b *testing.B)  { runExperiment(b, "A3") }
 func BenchmarkA4_QueueDepth(b *testing.B)     { runExperiment(b, "A4") }
 func BenchmarkM1_ICache(b *testing.B)         { runExperiment(b, "M1") }
+func BenchmarkM2_ParallelFleet(b *testing.B)  { runExperiment(b, "M2") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

@@ -17,6 +17,9 @@
 //   - memory services: ballooning, content-based page dedup, COW cloning
 //   - live migration: pre-copy, stop-and-copy, post-copy
 //   - vCPU schedulers: round-robin, Xen-style credit, CFS-like fair
+//   - a parallel host execution engine (Host.RunParallel): VM fleets run
+//     across worker goroutines over a lock-striped frame pool, with every
+//     guest-visible result byte-identical to serial execution
 //
 // The public API re-exports the building blocks; see the examples directory
 // for runnable programs and EXPERIMENTS.md for the reproduced evaluation.
@@ -88,6 +91,10 @@ const (
 
 // NewPool creates a host memory pool of the given capacity in 4 KiB frames.
 func NewPool(frames uint64) *Pool { return mem.NewPool(frames) }
+
+// NewPoolSharded creates a host pool with an explicit lock-stripe count
+// (contention tuning for Host.RunParallel; semantics are unaffected).
+func NewPoolSharded(frames uint64, shards int) *Pool { return mem.NewPoolSharded(frames, shards) }
 
 // NewVM creates a VM over a host pool.
 func NewVM(pool *Pool, cfg Config) (*VM, error) { return core.NewVM(pool, cfg) }

@@ -1,0 +1,70 @@
+package asm
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// FuzzAssembleDisassemble: for every decodable instruction word whose
+// operands are expressible in assembler syntax, disassembling and re-
+// assembling the text must reproduce the exact instruction — the assembler,
+// disassembler and encoder agree on one canonical form. Operand fields the
+// textual syntax cannot carry (branch/jump label targets, unknown CSR
+// numbers, dead immediate bits in system instructions) are canonicalized
+// the same way the seeded round-trip test does.
+func FuzzAssembleDisassemble(f *testing.F) {
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 4, Rs1: 5, Imm: -7}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpLD, Rd: 6, Rs1: 7, Imm: 128}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpSD, Rs1: 8, Rs2: 9, Imm: -16}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpCSRRW, Rd: 1, Rs1: 2, Imm: int32(isa.CSRSscratch)}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpHALT, Imm: 3}))
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in := isa.Decode(w)
+		if !in.Op.Valid() {
+			return
+		}
+		switch isa.FormatOf(in.Op) {
+		case isa.FmtJ:
+			return // jumps take label targets, not numeric offsets
+		case isa.FmtB:
+			switch in.Op {
+			case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+			default:
+				return // branches take label targets
+			}
+		}
+		switch in.Op {
+		case isa.OpCSRRW, isa.OpCSRRS, isa.OpCSRRC:
+			in.Imm = int32(isa.CSRSscratch) // arbitrary CSRs have no name to parse
+		case isa.OpSLLI, isa.OpSRLI, isa.OpSRAI:
+			in.Imm &= 63
+		case isa.OpLUI:
+			in.Rs1 = 0
+		case isa.OpSFENCE:
+			in.Rd = 0
+		case isa.OpHALT:
+			// halt N round-trips its 16-bit code.
+		case isa.OpECALL, isa.OpEBREAK, isa.OpSRET, isa.OpWFI, isa.OpFENCE:
+			in.Imm = 0 // plain mnemonics carry no immediate text
+		}
+		text := isa.Disasm(in)
+		if text == "" {
+			t.Fatalf("word %#x: empty disassembly for %+v", w, in)
+		}
+		img, err := Assemble(text, 0)
+		if err != nil {
+			t.Fatalf("Assemble(%q) from word %#x: %v", text, w, err)
+		}
+		if len(img) != 4 {
+			t.Fatalf("Assemble(%q) produced %d bytes", text, len(img))
+		}
+		got := isa.Decode(uint32(img[0]) | uint32(img[1])<<8 | uint32(img[2])<<16 | uint32(img[3])<<24)
+		if got != in {
+			t.Fatalf("round trip %q: want %+v got %+v", text, in, got)
+		}
+	})
+}

@@ -53,5 +53,7 @@ func All() []Experiment {
 			"deeper batches amortize the doorbell exit until it stops mattering"},
 		{"M1", "Simulator: decoded-instruction block cache", M1ICache,
 			"≥2× lower host ns/guest-instr with identical guest cycles (the cache is architecturally invisible)"},
+		{"M2", "Simulator: parallel host execution scale-out", M2ParallelFleet,
+			"8-VM fleet wall-clock drops ≈ min(workers, host cores)× with byte-identical guest state at every worker count"},
 	}
 }

@@ -21,6 +21,10 @@ type Scheduler interface {
 	// Account reports the cycles the entity actually consumed.
 	Account(id int, used uint64)
 	// Block marks an entity not runnable (idle/halted); Unblock reverses.
+	// Unblock MUST be a no-op for entities that are not blocked: both host
+	// engines call it to resync after device IRQs or Resume make a VM
+	// runnable outside the timer wake path, so a policy that treats every
+	// Unblock as a wake event (boost, requeue) would be distorted.
 	Block(id int)
 	Unblock(id int)
 }
@@ -44,8 +48,16 @@ type Host struct {
 	// dictate one.
 	Quantum uint64
 
+	// EpochFunc, when set, runs serially at every RunParallel epoch barrier.
+	// It is where cross-VM effects belong under parallel execution: KSM scan
+	// rounds, balloon policy, migration pre-copy rounds, deferred virtual-
+	// switch delivery (vnet.Switch.Flush). Nothing else may touch more than
+	// one VM while an epoch is in flight.
+	EpochFunc func()
+
 	wakeAt     map[int]uint64 // host time at which each idle VM's timer fires
 	runnableAt map[int]uint64 // host time a woken VM joined the runqueue
+	idleAt     map[int]uint64 // host time each VM went idle (device-wake clock sync)
 }
 
 // DefaultQuantum is 1 ms of guest time at the nominal clock.
@@ -64,12 +76,15 @@ func NewHost(poolFrames uint64, pcpus int, sched Scheduler) *Host {
 	}
 }
 
-// CreateVM creates and registers a VM on this host.
+// CreateVM creates and registers a VM on this host. Each VM's allocation
+// stream is hinted onto its own pool shard so concurrent demand fills under
+// RunParallel mostly avoid each other's locks.
 func (h *Host) CreateVM(cfg Config) (*VM, error) {
 	vm, err := NewVM(h.Pool, cfg)
 	if err != nil {
 		return nil, err
 	}
+	vm.Mem.SetAllocHint(len(h.VMs))
 	h.VMs = append(h.VMs, vm)
 	return vm, nil
 }
@@ -97,62 +112,13 @@ func (h *Host) Run(limit uint64) uint64 {
 	if h.Sched == nil {
 		panic("core: host has no scheduler")
 	}
-	if h.wakeAt == nil {
-		h.wakeAt = make(map[int]uint64)
-		h.runnableAt = make(map[int]uint64)
-	}
+	h.ensureTimerMaps()
 	start := h.Now
 	for h.Now-start < limit {
-		// Wake idle VMs whose timers have fired on the host clock.
-		runnable := 0
-		for i, vm := range h.VMs {
-			if vm.State == StateIdle {
-				cmp := vm.CPU.CSR.Stimecmp
-				if _, tracked := h.wakeAt[i]; !tracked && cmp != 0 {
-					// The guest sleeps until its deadline, in wall time.
-					sleep := uint64(0)
-					if cmp > vm.CPU.Cycles {
-						sleep = cmp - vm.CPU.Cycles
-					}
-					h.wakeAt[i] = h.Now + sleep
-				}
-				if at, tracked := h.wakeAt[i]; tracked && h.Now >= at {
-					// Wall time passed while asleep (plus any lateness).
-					late := h.Now - at
-					if cmp > vm.CPU.Cycles {
-						vm.CPU.Cycles = cmp
-					}
-					vm.CPU.Cycles += late
-					delete(h.wakeAt, i)
-					vm.State = StateRunning
-					h.Sched.Unblock(i)
-					// From here until dispatch the VM sits on the runqueue;
-					// that wait is wall time its clock must absorb, so the
-					// guest's own latency measurement sees scheduling delay.
-					h.runnableAt[i] = h.Now
-				}
-			} else {
-				delete(h.wakeAt, i)
-			}
-			if vm.State == StateRunning {
-				runnable++
-			}
-		}
+		runnable := h.wakeSleepers()
 		if runnable == 0 {
-			// Advance to the next pending wake; nothing else can happen.
-			next := uint64(0)
-			for _, at := range h.wakeAt {
-				if next == 0 || at < next {
-					next = at
-				}
-			}
-			if next == 0 {
+			if !h.advanceToNextWake() {
 				return h.Now - start
-			}
-			if next > h.Now {
-				h.Now = next
-			} else {
-				h.Now++
 			}
 			continue
 		}
@@ -174,40 +140,162 @@ func (h *Host) Run(limit uint64) uint64 {
 		}
 		// Host timer preemption: never run a quantum past the next pending
 		// timer wake, so wakeups are observed promptly.
-		for _, at := range h.wakeAt {
-			if at > h.Now {
-				if room := (at - h.Now) * uint64(par); room < quantum {
-					quantum = room
-				}
-			} else {
-				quantum = 1
-			}
-		}
-		if quantum == 0 {
-			quantum = 1
-		}
+		quantum = h.clampToNextWake(quantum, uint64(par))
 		vm := h.VMs[id]
 		if vm.State != StateRunning {
-			h.Sched.Block(id)
+			h.parkIfNotRunning(id, h.Now)
 			continue
 		}
-		if rs, waited := h.runnableAt[id]; waited {
-			if h.Now > rs {
-				vm.CPU.AddCycles(h.Now - rs)
-			}
-			delete(h.runnableAt, id)
-		}
+		h.chargeRunqueueWait(id)
 		used := vm.Step(quantum)
 		h.Sched.Account(id, used)
-		if vm.State != StateRunning {
-			h.Sched.Block(id)
-		}
 		h.Now += used / uint64(par)
 		if used == 0 {
 			h.Now++ // ensure forward progress
 		}
+		h.parkIfNotRunning(id, h.Now)
 	}
 	return h.Now - start
+}
+
+func (h *Host) ensureTimerMaps() {
+	if h.wakeAt == nil {
+		h.wakeAt = make(map[int]uint64)
+		h.runnableAt = make(map[int]uint64)
+		h.idleAt = make(map[int]uint64)
+	}
+}
+
+// parkIfNotRunning blocks a VM that is not in the running state and, if it
+// went idle, records at — the wall time it actually stopped executing (the
+// end of its consumed slice, not the dispatch time, or the already-consumed
+// quantum would be double-charged): an idle guest's clock tracks wall time,
+// so a later device wake charges the gap (timer wakes compute the same
+// thing from the armed deadline instead).
+func (h *Host) parkIfNotRunning(id int, at uint64) {
+	vm := h.VMs[id]
+	if vm.State == StateRunning {
+		return
+	}
+	h.Sched.Block(id)
+	if vm.State == StateIdle {
+		if _, tracked := h.idleAt[id]; !tracked {
+			h.idleAt[id] = at
+		}
+	}
+}
+
+// wakeSleepers wakes idle VMs whose timers have fired on the host clock and
+// returns the number of runnable VMs. This is the serial prologue both
+// execution engines (Run and RunParallel) share.
+func (h *Host) wakeSleepers() int {
+	runnable := 0
+	for i, vm := range h.VMs {
+		if vm.State == StateIdle {
+			cmp := vm.CPU.CSR.Stimecmp
+			if _, tracked := h.wakeAt[i]; !tracked && cmp != 0 {
+				// The guest sleeps until its deadline, in wall time.
+				sleep := uint64(0)
+				if cmp > vm.CPU.Cycles {
+					sleep = cmp - vm.CPU.Cycles
+				}
+				h.wakeAt[i] = h.Now + sleep
+			}
+			if at, tracked := h.wakeAt[i]; tracked && h.Now >= at {
+				// Wall time passed while asleep (plus any lateness).
+				late := h.Now - at
+				if cmp > vm.CPU.Cycles {
+					vm.CPU.Cycles = cmp
+				}
+				vm.CPU.Cycles += late
+				delete(h.wakeAt, i)
+				delete(h.idleAt, i)
+				vm.State = StateRunning
+				h.Sched.Unblock(i)
+				// From here until dispatch the VM sits on the runqueue;
+				// that wait is wall time its clock must absorb, so the
+				// guest's own latency measurement sees scheduling delay.
+				h.runnableAt[i] = h.Now
+			}
+		} else {
+			delete(h.wakeAt, i)
+			if vm.State == StateRunning {
+				if at, wasIdle := h.idleAt[i]; wasIdle {
+					// A device IRQ woke this guest out of WFI: while idle
+					// its clock tracked wall time, so it absorbs the wait
+					// before resuming (the timer path above computes the
+					// same charge from the armed deadline), and the
+					// runqueue delay until dispatch is charged like any
+					// other wake.
+					if h.Now > at {
+						vm.CPU.AddCycles(h.Now - at)
+					}
+					h.runnableAt[i] = h.Now
+				}
+				// Resync the scheduler: a device IRQ or Resume makes a VM
+				// runnable without passing through the timer wake above,
+				// and it would otherwise sit blocked forever. No-op when
+				// the entity is not blocked.
+				h.Sched.Unblock(i)
+			}
+			delete(h.idleAt, i)
+		}
+		if vm.State == StateRunning {
+			runnable++
+		}
+	}
+	return runnable
+}
+
+// advanceToNextWake moves the clock to the earliest pending timer wake. It
+// returns false when no wake is pending — the host has nothing left to do.
+func (h *Host) advanceToNextWake() bool {
+	next := uint64(0)
+	for _, at := range h.wakeAt {
+		if next == 0 || at < next {
+			next = at
+		}
+	}
+	if next == 0 {
+		return false
+	}
+	if next > h.Now {
+		h.Now = next
+	} else {
+		h.Now++
+	}
+	return true
+}
+
+// clampToNextWake bounds a dispatch quantum so it cannot run past the next
+// pending timer wake. par converts wall room into cycle room: Run's single
+// dispatch advances the host clock by used/par, while a RunParallel lease
+// occupies its own simulated core (par 1).
+func (h *Host) clampToNextWake(quantum, par uint64) uint64 {
+	for _, at := range h.wakeAt {
+		if at > h.Now {
+			if room := (at - h.Now) * par; room < quantum {
+				quantum = room
+			}
+		} else {
+			quantum = 1
+		}
+	}
+	if quantum == 0 {
+		quantum = 1
+	}
+	return quantum
+}
+
+// chargeRunqueueWait applies the wall time VM id spent waiting on the
+// runqueue since it woke (the scheduling-delay component of wakeup latency).
+func (h *Host) chargeRunqueueWait(id int) {
+	if rs, waited := h.runnableAt[id]; waited {
+		if h.Now > rs {
+			h.VMs[id].CPU.AddCycles(h.Now - rs)
+		}
+		delete(h.runnableAt, id)
+	}
 }
 
 // AllHalted reports whether every VM reached a terminal state.

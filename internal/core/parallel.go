@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+
+	"govisor/internal/vnet"
+)
+
+// LeaseScheduler is the optional capability RunParallel uses to dispatch
+// several VMs per epoch: BeginLease excludes an entity from Next until
+// EndLease, so one serial lease phase can hand out distinct (VM, quantum)
+// pairs. All schedulers in internal/sched implement it; a plain Scheduler
+// still works under RunParallel but degenerates to one lease per epoch.
+type LeaseScheduler interface {
+	Scheduler
+	BeginLease(id int)
+	EndLease(id int)
+}
+
+// epochLease is one (VM, quantum) grant of an epoch. used is written by the
+// executing worker and read back after the epoch barrier.
+type epochLease struct {
+	id      int
+	quantum uint64
+	used    uint64
+}
+
+// RunParallel multiplexes the host's VMs like Run, but executes each epoch's
+// leased VMs concurrently on a pool of host worker goroutines. It runs until
+// every VM has halted (or errored), or until the host clock advances by
+// limit, and returns the host cycles elapsed.
+//
+// The engine is built so that every guest-visible outcome is independent of
+// both the worker count and goroutine interleaving:
+//
+//   - Epoch schedule. Each epoch, the serial prologue wakes timers and then
+//     leases up to min(runnable, PCPUs) distinct VMs from the scheduler
+//     (BeginLease keeps Next from repeating an entity). The schedule is
+//     fixed before any worker runs.
+//   - Concurrent execution. Workers run vm.Step for the leased VMs. A VM's
+//     entire state (vCPU, MMU, TLB, icache, devices, GuestPhys) is touched
+//     only by the worker holding its lease; the one shared structure, the
+//     host frame pool, is lock-striped and goroutine-safe, and frame numbers
+//     are not guest-visible.
+//   - Epoch barrier. Accounting, scheduler state edges, the clock advance
+//     and EpochFunc (KSM scans, balloon policy, migration rounds, deferred
+//     vnet delivery — every cross-VM effect) run serially, in lease order.
+//
+// The host clock advances by the longest lease actually consumed: each
+// leased VM occupies its own simulated core for the epoch. This is gang
+// scheduling — a VM that exits its quantum early still holds its core until
+// the barrier — which slightly differs from Run's single-dispatch
+// interleaving but is deterministic and preserves min(N, PCPUs) aggregate
+// progress.
+//
+// Known limits:
+//
+//   - Frame-pool exhaustion races. If concurrent leases allocate the pool's
+//     final frames mid-epoch, which VM sees ErrOutOfFrames can vary with
+//     interleaving.
+//   - VM.ReclaimHook and VM.PageSource run on the faulting VM's worker,
+//     mid-epoch. A hook that touches only host-side or own-VM state is
+//     safe, but one that reclaims from *other* VMs' address spaces (the
+//     balloon Controller pattern) would mutate state a concurrent worker
+//     owns. Under RunParallel, overcommit pressure must instead be resolved
+//     from EpochFunc — shrink the fleet at the barrier so mid-epoch
+//     allocation never hits the wall — which also makes the outcome
+//     deterministic.
+func (h *Host) RunParallel(workers int, limit uint64) uint64 {
+	if h.Sched == nil {
+		panic("core: host has no scheduler")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	h.ensureTimerMaps()
+	ls, multi := h.Sched.(LeaseScheduler)
+
+	// Inter-VM networking must not race across workers: flip every switch
+	// the fleet's NICs attach to into epoch-deferred delivery for the
+	// duration of the run. Frames queue on the sending port and deliver at
+	// the epoch barrier, in (port id, send order).
+	switches, restoreSwitches := h.deferSwitches()
+	defer restoreSwitches()
+
+	jobs := make(chan *epochLease)
+	defer close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		go func() {
+			for l := range jobs {
+				l.used = h.VMs[l.id].Step(l.quantum)
+				wg.Done()
+			}
+		}()
+	}
+
+	leases := make([]*epochLease, 0, h.PCPUs)
+	start := h.Now
+	for h.Now-start < limit {
+		runnable := h.wakeSleepers()
+		if runnable == 0 {
+			if !h.advanceToNextWake() {
+				return h.Now - start
+			}
+			continue
+		}
+		par := runnable
+		if par > h.PCPUs {
+			par = h.PCPUs
+		}
+		if par < 1 || !multi {
+			par = 1
+		}
+
+		// Lease phase (serial): fix this epoch's schedule.
+		leases = leases[:0]
+		for len(leases) < par {
+			id, quantum, ok := h.Sched.Next()
+			if !ok {
+				break
+			}
+			if quantum == 0 {
+				quantum = h.Quantum
+			}
+			if h.VMs[id].State != StateRunning {
+				h.parkIfNotRunning(id, h.Now)
+				continue
+			}
+			// Host timer preemption: never run an epoch past the next
+			// pending timer wake. A leased VM runs on its own simulated
+			// core, so cycle room equals wall room (par 1).
+			quantum = h.clampToNextWake(quantum, 1)
+			h.chargeRunqueueWait(id)
+			if multi {
+				ls.BeginLease(id)
+			}
+			leases = append(leases, &epochLease{id: id, quantum: quantum})
+		}
+		if len(leases) == 0 {
+			h.Now += h.Quantum // all entities capped/throttled: host idles
+			continue
+		}
+
+		// Execute phase: the schedule is already fixed, so interleaving
+		// cannot affect any guest-visible outcome.
+		wg.Add(len(leases))
+		for _, l := range leases {
+			jobs <- l
+		}
+		wg.Wait()
+
+		// Barrier phase (serial, in lease order).
+		var epochWall uint64
+		for _, l := range leases {
+			h.Sched.Account(l.id, l.used)
+			if multi {
+				ls.EndLease(l.id)
+			}
+			// A lease that went idle stopped executing at epoch start +
+			// consumed cycles (its own simulated core ran 1:1 with wall).
+			h.parkIfNotRunning(l.id, h.Now+l.used)
+			if l.used > epochWall {
+				epochWall = l.used
+			}
+		}
+		if epochWall == 0 {
+			epochWall = 1 // ensure forward progress
+		}
+		h.Now += epochWall
+		// Barrier-time frame delivery (or EpochFunc work) may raise IRQs
+		// that wake idle VMs; the next epoch's wakeSleepers resyncs the
+		// scheduler with any VM a device made runnable.
+		for _, sw := range switches {
+			sw.Flush()
+		}
+		if h.EpochFunc != nil {
+			h.EpochFunc()
+		}
+	}
+	return h.Now - start
+}
+
+// deferSwitches flips every switch attached to this host's VMs into epoch-
+// deferred delivery, returning the distinct switches plus a restore func
+// that flushes any leftover frames and reinstates each switch's prior mode.
+func (h *Host) deferSwitches() ([]*vnet.Switch, func()) {
+	var switches []*vnet.Switch
+	prior := make(map[*vnet.Switch]bool)
+	for _, vm := range h.VMs {
+		for _, port := range vm.netPorts {
+			sw := port.Switch()
+			if _, seen := prior[sw]; seen {
+				continue
+			}
+			prior[sw] = sw.Deferred()
+			sw.SetDeferred(true)
+			switches = append(switches, sw)
+		}
+	}
+	return switches, func() {
+		for _, sw := range switches {
+			sw.Flush()
+			sw.SetDeferred(prior[sw])
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"govisor/internal/asm"
+	"govisor/internal/gabi"
+	"govisor/internal/isa"
+	"govisor/internal/sched"
+)
+
+// idleTickProgram arms the timer, sleeps in WFI, and repeats `ticks` times —
+// the wakeup path RunParallel must reproduce exactly.
+func idleTickProgram(t *testing.T, ticks int64, period uint64) []byte {
+	return miniProgram(t, func(b *asm.Builder) {
+		b.Li(isa.RegS0, uint64(ticks))
+		b.Label("loop")
+		b.Li(isa.RegA7, gabi.HCGetTime)
+		b.Ecall()
+		b.Li(isa.RegT0, period)
+		b.R(isa.OpADD, isa.RegA0, isa.RegA0, isa.RegT0)
+		b.Li(isa.RegA7, gabi.HCSetTimer)
+		b.Ecall()
+		b.Wfi()
+		b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+		b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, "loop")
+		b.Halt(0)
+	})
+}
+
+// parallelFixture builds a host with 3 spinning VMs and 1 timer-idle VM
+// under the given scheduler.
+func parallelFixture(t *testing.T, mk func() Scheduler) *Host {
+	t.Helper()
+	h := NewHost(tPool, 2, mk())
+	spin := spinProgram(t)
+	idle := idleTickProgram(t, 4, 80_000)
+	for i := 0; i < 3; i++ {
+		vm, err := h.CreateVM(Config{Name: "spin", Mode: ModeHW, MemBytes: tRAM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Boot(spin); err != nil {
+			t.Fatal(err)
+		}
+		h.AddToScheduler(i, 256, 0)
+	}
+	vm, err := h.CreateVM(Config{Name: "idle", Mode: ModeHW, MemBytes: tRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Boot(idle); err != nil {
+		t.Fatal(err)
+	}
+	h.AddToScheduler(3, 256, 0)
+	return h
+}
+
+type hostSnapshot struct {
+	now    uint64
+	cycles [4]uint64
+	pcs    [4]uint64
+	work   [4]uint64
+	shares []float64
+}
+
+func snapshotHost(h *Host) hostSnapshot {
+	s := hostSnapshot{now: h.Now}
+	for i, vm := range h.VMs {
+		s.cycles[i] = vm.CPU.Cycles
+		s.pcs[i] = vm.CPU.PC
+		s.work[i] = vm.Result(gabi.PResult0)
+	}
+	if sh, ok := h.Sched.(interface{ Shares() []float64 }); ok {
+		s.shares = sh.Shares()
+	}
+	return s
+}
+
+// TestRunParallelIdenticalAcrossWorkers: the whole point of the epoch
+// engine — worker count must never leak into any guest-visible or scheduler-
+// visible number, for every policy, including timer wakeups mid-run.
+func TestRunParallelIdenticalAcrossWorkers(t *testing.T) {
+	policies := map[string]func() Scheduler{
+		"rr":     func() Scheduler { return sched.NewRoundRobin(DefaultQuantum) },
+		"credit": func() Scheduler { return sched.NewCredit() },
+		"cfs":    func() Scheduler { return sched.NewCFS() },
+	}
+	for name, mk := range policies {
+		var ref hostSnapshot
+		for workers := 1; workers <= 4; workers++ {
+			h := parallelFixture(t, mk)
+			h.RunParallel(workers, 40_000_000/raceScale)
+			got := snapshotHost(h)
+			if workers == 1 {
+				ref = got
+				continue
+			}
+			if got.now != ref.now {
+				t.Errorf("%s w=%d: host clock %d != %d", name, workers, got.now, ref.now)
+			}
+			for i := range got.cycles {
+				if got.cycles[i] != ref.cycles[i] || got.pcs[i] != ref.pcs[i] || got.work[i] != ref.work[i] {
+					t.Errorf("%s w=%d vm%d: (cyc=%d pc=%#x work=%d) != (cyc=%d pc=%#x work=%d)",
+						name, workers, i, got.cycles[i], got.pcs[i], got.work[i],
+						ref.cycles[i], ref.pcs[i], ref.work[i])
+				}
+			}
+			for i := range got.shares {
+				if got.shares[i] != ref.shares[i] {
+					t.Errorf("%s w=%d: scheduler shares diverged: %v vs %v", name, workers, got.shares, ref.shares)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestRunParallelRunsAllToHalt: halting guests finish under the pool and the
+// engine reports completion by going idle.
+func TestRunParallelRunsAllToHalt(t *testing.T) {
+	h := NewHost(tPool, 4, sched.NewCredit())
+	img := miniProgram(t, func(b *asm.Builder) {
+		b.Li(isa.RegT0, 5000)
+		b.Label("loop")
+		b.I(isa.OpADDI, isa.RegT0, isa.RegT0, -1)
+		b.Branch(isa.OpBNE, isa.RegT0, isa.RegZero, "loop")
+		b.Halt(0)
+	})
+	for i := 0; i < 6; i++ {
+		vm, err := h.CreateVM(Config{Name: "v", Mode: ModeHW, MemBytes: tRAM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Boot(img); err != nil {
+			t.Fatal(err)
+		}
+		h.AddToScheduler(i, 256, 0)
+	}
+	elapsed := h.RunParallel(3, 1_000_000_000)
+	if !h.AllHalted() {
+		for _, vm := range h.VMs {
+			t.Logf("vm state %v err %v", vm.State, vm.Err)
+		}
+		t.Fatal("fleet did not halt")
+	}
+	if elapsed == 0 {
+		t.Fatal("no host time elapsed")
+	}
+}
+
+// TestRunParallelSharesCPUFairly mirrors the serial fairness test under the
+// parallel engine: equal weights on a 1-PCPU host must stay within 25%.
+func TestRunParallelSharesCPUFairly(t *testing.T) {
+	cs := sched.NewCredit()
+	// Keep enough dispatches in the window for fairness to converge even
+	// with the race-scaled budget.
+	cs.Quantum = 200_000
+	h := NewHost(tPool, 1, cs)
+	img := spinProgram(t)
+	for i := 0; i < 3; i++ {
+		vm, err := h.CreateVM(Config{Name: "vm", Mode: ModeHW, MemBytes: tRAM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vm.Boot(img); err != nil {
+			t.Fatal(err)
+		}
+		h.AddToScheduler(i, 256, 0)
+	}
+	h.RunParallel(4, 60_000_000/raceScale)
+	var lo, hi uint64
+	for i, vm := range h.VMs {
+		c := vm.Result(gabi.PResult0)
+		if c == 0 {
+			t.Fatalf("vm %d starved", i)
+		}
+		if i == 0 || c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if float64(hi) > 1.25*float64(lo) {
+		t.Fatalf("unfair split: lo=%d hi=%d", lo, hi)
+	}
+}
+
+// TestRunParallelEpochFunc: the barrier hook runs, serially, every epoch.
+func TestRunParallelEpochFunc(t *testing.T) {
+	h := NewHost(tPool, 2, sched.NewCredit())
+	img := spinProgram(t)
+	for i := 0; i < 2; i++ {
+		vm, _ := h.CreateVM(Config{Name: "vm", Mode: ModeHW, MemBytes: tRAM})
+		if err := vm.Boot(img); err != nil {
+			t.Fatal(err)
+		}
+		h.AddToScheduler(i, 256, 0)
+	}
+	var epochs atomic.Int64
+	var inHook atomic.Int64
+	h.EpochFunc = func() {
+		if inHook.Add(1) != 1 {
+			t.Error("EpochFunc reentered")
+		}
+		epochs.Add(1)
+		inHook.Add(-1)
+	}
+	h.RunParallel(2, 10_000_000/raceScale)
+	if epochs.Load() == 0 {
+		t.Fatal("EpochFunc never ran")
+	}
+}
+
+// plainScheduler hides the lease capability, forcing the single-lease
+// fallback path.
+type plainScheduler struct{ s *sched.Credit }
+
+func (p plainScheduler) Add(id int, w, c uint64)     { p.s.Add(id, w, c) }
+func (p plainScheduler) Remove(id int)               { p.s.Remove(id) }
+func (p plainScheduler) Next() (int, uint64, bool)   { return p.s.Next() }
+func (p plainScheduler) Account(id int, used uint64) { p.s.Account(id, used) }
+func (p plainScheduler) Block(id int)                { p.s.Block(id) }
+func (p plainScheduler) Unblock(id int)              { p.s.Unblock(id) }
+
+// TestRunParallelPlainSchedulerFallback: a scheduler without lease support
+// still works (one lease per epoch).
+func TestRunParallelPlainSchedulerFallback(t *testing.T) {
+	h := NewHost(tPool, 4, plainScheduler{sched.NewCredit()})
+	img := spinProgram(t)
+	for i := 0; i < 2; i++ {
+		vm, _ := h.CreateVM(Config{Name: "vm", Mode: ModeHW, MemBytes: tRAM})
+		if err := vm.Boot(img); err != nil {
+			t.Fatal(err)
+		}
+		h.AddToScheduler(i, 256, 0)
+	}
+	h.RunParallel(4, 20_000_000/raceScale)
+	for i, vm := range h.VMs {
+		if vm.Result(gabi.PResult0) == 0 {
+			t.Fatalf("vm %d starved under fallback", i)
+		}
+	}
+}

@@ -173,7 +173,10 @@ type VM struct {
 
 	// ReclaimHook, when set, is invoked when the host pool is exhausted;
 	// returning true means "retry the allocation" (the overcommit policy
-	// freed something). Used by the ballooning experiments.
+	// freed something). Used by the ballooning experiments. Under
+	// Host.RunParallel the hook runs on this VM's worker mid-epoch, so it
+	// must not touch other VMs' state — drive cross-VM reclaim from
+	// Host.EpochFunc instead (see the RunParallel contract).
 	ReclaimHook func() bool
 
 	Stats VMStats
@@ -185,6 +188,11 @@ type VM struct {
 	virtioSlot  int
 	virtioByIRQ map[uint]*virtio.MMIODev
 	costs       vcpu.Costs
+
+	// netPorts are the virtual-switch attachments of this VM's NICs; the
+	// parallel engine defers their switches at run start so inter-VM frames
+	// deliver at epoch barriers instead of racing across workers.
+	netPorts []*vnet.Port
 }
 
 // ChurnWindowVA is the virtual base of the PT-churn window handed to guest
@@ -292,6 +300,7 @@ func (vm *VM) AttachRegNIC(port *vnet.Port) (*dev.RegNIC, error) {
 	if err := vm.Bus.Attach(dev.RegNICBase, dev.RegNICSize, n); err != nil {
 		return nil, err
 	}
+	vm.netPorts = append(vm.netPorts, port)
 	return n, nil
 }
 
@@ -331,6 +340,7 @@ func (vm *VM) AttachVirtioNet(port *vnet.Port) (*virtio.Net, *virtio.MMIODev, er
 		return nil, nil, err
 	}
 	n.Bind(d)
+	vm.netPorts = append(vm.netPorts, port)
 	return n, d, nil
 }
 

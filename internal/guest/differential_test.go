@@ -59,12 +59,12 @@ func TestDifferentialICacheInvisible(t *testing.T) {
 		name string
 		w    Workload
 	}{
-		{"compute-hot", Compute(300, 50)},   // the F3 privileged-density loop
-		{"memtouch", MemTouch(4, 300, 40)},  // TLB pressure: fetch entries compete with data
-		{"ptchurn", PTChurn(2, false)},      // SFENCE flushes + write-protect faults
-		{"syscall", Syscall(60)},            // trap entry/SRET privilege flips mid-stream
-		{"csr", CSRLoop(80)},                // CSR exits every few instructions
-		{"idle", Idle(3, 50_000)},           // WFI, timer fast-forward, re-entry
+		{"compute-hot", Compute(300, 50)},  // the F3 privileged-density loop
+		{"memtouch", MemTouch(4, 300, 40)}, // TLB pressure: fetch entries compete with data
+		{"ptchurn", PTChurn(2, false)},     // SFENCE flushes + write-protect faults
+		{"syscall", Syscall(60)},           // trap entry/SRET privilege flips mid-stream
+		{"csr", CSRLoop(80)},               // CSR exits every few instructions
+		{"idle", Idle(3, 50_000)},          // WFI, timer fast-forward, re-entry
 	}
 	for _, mode := range allModes {
 		for _, wl := range workloads {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package guest
+
+// raceScale divides host-time budgets of the stress tests under the race
+// detector (see the sibling race_on_test.go); 1 in normal builds.
+const raceScale = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package guest
+
+// raceScale under the race detector: stress budgets shrink ~4× so
+// `go test -race ./...` stays CI-friendly without losing the concurrency
+// coverage the stress exists for.
+const raceScale = 4

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"govisor/internal/isa"
 )
@@ -71,8 +72,18 @@ type GuestPhys struct {
 	// privileged VMM writes, demand population, ballooning unmap, migration
 	// page copies, and remaps from dedup or cloning. Caches of derived page
 	// content (the vCPU's decoded-instruction cache) validate with a single
-	// compare against PageVersion instead of registering callbacks.
+	// compare against PageVersion instead of registering callbacks. Counters
+	// are accessed atomically so a version observer on another goroutine
+	// (a concurrent cache validation, a scanner probing for stability) never
+	// races the owning VM's writes; everything else in GuestPhys remains
+	// single-owner — one goroutine at a time, with cross-VM services
+	// confined to epoch barriers.
 	ver []uint64
+
+	// hint is the preferred pool shard for this space's allocations; hosts
+	// assign each VM a distinct hint so concurrent demand fills mostly stay
+	// off each other's locks.
+	hint int
 
 	// Stats visible to experiments.
 	DirtySets   uint64 // writes that newly dirtied a page
@@ -129,12 +140,15 @@ func (g *GuestPhys) PageVersion(gfn uint64) uint64 {
 	if gfn >= g.npages {
 		return 0
 	}
-	return g.ver[gfn]
+	return atomic.LoadUint64(&g.ver[gfn])
 }
 
 // bumpVersion invalidates derived caches of gfn's content. Callers guarantee
 // gfn < npages.
-func (g *GuestPhys) bumpVersion(gfn uint64) { g.ver[gfn]++ }
+func (g *GuestPhys) bumpVersion(gfn uint64) { atomic.AddUint64(&g.ver[gfn], 1) }
+
+// SetAllocHint sets the preferred pool shard for this space's allocations.
+func (g *GuestPhys) SetAllocHint(h int) { g.hint = h }
 
 // Frame returns the host frame mapped at gfn, or NoFrame.
 func (g *GuestPhys) Frame(gfn uint64) uint64 {
@@ -197,7 +211,7 @@ func (g *GuestPhys) Populate(gfn uint64) error {
 	if g.hfn[gfn] != NoFrame {
 		return nil
 	}
-	hfn, err := g.pool.Alloc()
+	hfn, err := g.pool.AllocNear(g.hint)
 	if err != nil {
 		return err
 	}
@@ -318,7 +332,7 @@ func (g *GuestPhys) resolveWrite(gpa uint64) (uint64, *Fault) {
 		return 0, &Fault{Kind: FaultNotPresent, GPA: gpa, Access: isa.AccWrite}
 	}
 	if bit(g.cow, gfn) {
-		nfn, err := g.pool.BreakCOW(hfn)
+		nfn, err := g.pool.BreakCOWNear(hfn, g.hint)
 		if err != nil {
 			// Pool exhausted: surface as not-present so the VMM's overcommit
 			// policy can reclaim and retry.
@@ -471,7 +485,7 @@ func (g *GuestPhys) WriteRaw(gfn uint64, buf []byte) error {
 	}
 	hfn := g.hfn[gfn]
 	if g.pool.Shared(hfn) {
-		nfn, err := g.pool.BreakCOW(hfn)
+		nfn, err := g.pool.BreakCOWNear(hfn, g.hint)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,160 @@
+package mem
+
+import (
+	"sync"
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestShardedPoolExactCapacity: striping must not change capacity semantics —
+// exactly capacity frames allocate, with dense frame numbers, for shard
+// counts that do and do not divide the capacity.
+func TestShardedPoolExactCapacity(t *testing.T) {
+	for _, tc := range []struct {
+		capacity uint64
+		shards   int
+	}{{40, 1}, {40, 8}, {41, 8}, {7, 8}, {256, 3}} {
+		p := NewPoolSharded(tc.capacity, tc.shards)
+		seen := make(map[uint64]bool)
+		for i := uint64(0); i < tc.capacity; i++ {
+			hfn, err := p.Alloc()
+			if err != nil {
+				t.Fatalf("cap=%d shards=%d: alloc %d failed: %v", tc.capacity, tc.shards, i, err)
+			}
+			if hfn >= tc.capacity {
+				t.Fatalf("cap=%d shards=%d: hfn %d not dense", tc.capacity, tc.shards, hfn)
+			}
+			if seen[hfn] {
+				t.Fatalf("cap=%d shards=%d: hfn %d handed out twice", tc.capacity, tc.shards, hfn)
+			}
+			seen[hfn] = true
+		}
+		if _, err := p.Alloc(); err != ErrOutOfFrames {
+			t.Fatalf("cap=%d shards=%d: over-capacity alloc gave %v", tc.capacity, tc.shards, err)
+		}
+		if p.InUse() != tc.capacity || p.Free() != 0 {
+			t.Fatalf("cap=%d shards=%d: inUse=%d free=%d", tc.capacity, tc.shards, p.InUse(), p.Free())
+		}
+	}
+}
+
+// TestShardedPoolRaceStress hammers one pool from many goroutines the way a
+// parallel host does: each goroutine owns a GuestPhys (single-owner, as the
+// epoch protocol guarantees) and churns demand fills, stores, unmaps and
+// COW breaks of frames pre-shared across all spaces. Run under -race this is
+// the data-race proof for the shard locking, the atomic budget, and the
+// atomic page-version counters.
+func TestShardedPoolRaceStress(t *testing.T) {
+	const (
+		workers  = 8
+		pages    = 64
+		rounds   = 400
+		capacity = workers*pages + 128
+	)
+	p := NewPoolSharded(capacity, 4)
+	spaces := make([]*GuestPhys, workers)
+	for i := range spaces {
+		g := NewGuestPhys(p, pages<<isa.PageShift)
+		g.SetAllocHint(i)
+		spaces[i] = g
+	}
+	// Pre-share one canonical frame into every space (the dedup outcome),
+	// so concurrent first writes race through BreakCOW on the shared frame.
+	canonical, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteAt(canonical, 0, []byte{0xAB})
+	for _, g := range spaces {
+		p.IncRef(canonical)
+		g.MapShared(0, canonical)
+	}
+	p.DecRef(canonical) // spaces now hold the only references
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := spaces[w]
+			for r := 0; r < rounds; r++ {
+				// COW break on the pre-shared page (first round), then
+				// plain stores bumping versions.
+				if f := g.WriteUint(0, 8, uint64(r)); f != nil {
+					t.Errorf("worker %d: shared write: %v", w, f)
+					return
+				}
+				gfn := uint64(1 + (r % (pages - 1)))
+				if err := g.Populate(gfn); err != nil {
+					t.Errorf("worker %d: populate: %v", w, err)
+					return
+				}
+				if f := g.WriteUint(gfn<<isa.PageShift, 8, uint64(w)<<32|uint64(r)); f != nil {
+					t.Errorf("worker %d: write: %v", w, f)
+					return
+				}
+				if v := g.PageVersion(gfn); v == 0 {
+					t.Errorf("worker %d: version not bumped", w)
+					return
+				}
+				if r%7 == 0 {
+					g.Unmap(gfn) // exercise free-list churn across shards
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every space must own a private copy of page 0 with its own last value.
+	for w, g := range spaces {
+		if g.IsCOW(0) {
+			t.Fatalf("space %d still COW after write", w)
+		}
+		v, f := g.ReadUint(0, 8)
+		if f != nil || v != rounds-1 {
+			t.Fatalf("space %d: page0 = %d (%v)", w, v, f)
+		}
+	}
+	if p.InUse() > capacity {
+		t.Fatalf("pool overran budget: %d > %d", p.InUse(), capacity)
+	}
+	// The last holder of the shared frame writes it in place, so the break
+	// count is at least workers-1 (exact value depends on the race's order).
+	if p.COWBreaks() < workers-1 {
+		t.Fatalf("expected ≥%d COW breaks, got %d", workers-1, p.COWBreaks())
+	}
+}
+
+// TestShardedPoolConcurrentExhaustion: when many allocators fight over the
+// last frames, the pool must hand out exactly the remaining budget and fail
+// the rest — never oversubscribe, never deadlock.
+func TestShardedPoolConcurrentExhaustion(t *testing.T) {
+	const capacity = 100
+	p := NewPoolSharded(capacity, 8)
+	var wg sync.WaitGroup
+	got := make([]int, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if _, err := p.AllocNear(w); err != nil {
+					return
+				}
+				got[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int
+	for _, n := range got {
+		total += n
+	}
+	if total != capacity {
+		t.Fatalf("allocated %d frames from a %d-frame pool", total, capacity)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %d after exhaustion", p.Free())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Histogram accumulates samples and reports order statistics. It stores raw
@@ -97,12 +98,17 @@ type Counter struct {
 
 // CounterSet is an ordered collection of named counters — the conventional
 // way subsystems surface hit/miss-style statistics to the benchmark tables.
+// It is goroutine-safe, so concurrent VM workers under the parallel host
+// engine can aggregate into one shared set.
 type CounterSet struct {
+	mu       sync.Mutex
 	counters []Counter
 }
 
 // Add appends (or accumulates into) the named counter.
 func (s *CounterSet) Add(name string, v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range s.counters {
 		if s.counters[i].Name == name {
 			s.counters[i].Value += v
@@ -114,6 +120,8 @@ func (s *CounterSet) Add(name string, v uint64) {
 
 // Get returns the named counter's value, or 0 if absent.
 func (s *CounterSet) Get(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, c := range s.counters {
 		if c.Name == name {
 			return c.Value
@@ -122,13 +130,17 @@ func (s *CounterSet) Get(name string) uint64 {
 	return 0
 }
 
-// All returns the counters in insertion order.
-func (s *CounterSet) All() []Counter { return s.counters }
+// All returns a snapshot of the counters in insertion order.
+func (s *CounterSet) All() []Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Counter(nil), s.counters...)
+}
 
 // Table renders the set as a two-column table.
 func (s *CounterSet) Table() *Table {
 	t := &Table{Header: []string{"counter", "value"}}
-	for _, c := range s.counters {
+	for _, c := range s.All() {
 		t.AddRow(c.Name, fmt.Sprint(c.Value))
 	}
 	return t
@@ -137,7 +149,7 @@ func (s *CounterSet) Table() *Table {
 // String renders the set compactly: "a=1 b=2".
 func (s *CounterSet) String() string {
 	var b strings.Builder
-	for i, c := range s.counters {
+	for i, c := range s.All() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}

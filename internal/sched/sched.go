@@ -22,14 +22,25 @@ type Entity struct {
 	capDebt  uint64 // cycles consumed beyond the cap allowance
 }
 
-// baseScheduler holds the entity table shared by the policies.
+// baseScheduler holds the entity table shared by the policies, plus the
+// lease bookkeeping the parallel host engine uses: an epoch leases several
+// distinct entities with BeginLease (each excluded from Next until its
+// EndLease), runs them concurrently, and applies Account/EndLease serially
+// at the epoch barrier.
 type baseScheduler struct {
 	entities map[int]*Entity
 	order    []int // stable iteration order
+
+	leased        map[int]bool // excluded from Next until EndLease
+	removePending map[int]bool // Remove arrived while leased; applied at EndLease
 }
 
 func newBase() baseScheduler {
-	return baseScheduler{entities: make(map[int]*Entity)}
+	return baseScheduler{
+		entities:      make(map[int]*Entity),
+		leased:        make(map[int]bool),
+		removePending: make(map[int]bool),
+	}
 }
 
 // Add registers an entity.
@@ -37,16 +48,37 @@ func (b *baseScheduler) Add(id int, weight, capPct uint64) {
 	if weight == 0 {
 		weight = 1
 	}
-	if _, dup := b.entities[id]; dup {
+	if e, dup := b.entities[id]; dup {
+		// Re-adding an entity whose removal is still pending behind a lease
+		// is a fresh registration that cannot drop the in-flight lease's
+		// accounting: cancel the removal and install the caller's new
+		// parameters, but keep the entity (and its Used) live so the
+		// pending Account still lands.
+		if b.removePending[id] {
+			delete(b.removePending, id)
+			e.Weight, e.CapPct = weight, capPct
+		}
 		return
 	}
 	b.entities[id] = &Entity{ID: id, Weight: weight, CapPct: capPct}
 	b.order = append(b.order, id)
 }
 
-// Remove deregisters an entity.
+// Remove deregisters an entity. Removing a currently-leased entity defers
+// until EndLease so the in-flight quantum's Account still lands on live
+// state — dropping it would leave Used (fairness) and the credit/CFS global
+// accounting (periodSpent, total vruntime progress) silently short.
 func (b *baseScheduler) Remove(id int) {
+	if b.leased[id] {
+		b.removePending[id] = true
+		return
+	}
+	b.remove(id)
+}
+
+func (b *baseScheduler) remove(id int) {
 	delete(b.entities, id)
+	delete(b.removePending, id)
 	for i, v := range b.order {
 		if v == id {
 			b.order = append(b.order[:i], b.order[i+1:]...)
@@ -54,6 +86,26 @@ func (b *baseScheduler) Remove(id int) {
 		}
 	}
 }
+
+// BeginLease marks id as dispatched for the current epoch: Next will not
+// offer it again until EndLease.
+func (b *baseScheduler) BeginLease(id int) {
+	if _, ok := b.entities[id]; ok {
+		b.leased[id] = true
+	}
+}
+
+// EndLease returns id to the schedulable set and applies a Remove that
+// arrived while the lease was outstanding.
+func (b *baseScheduler) EndLease(id int) {
+	delete(b.leased, id)
+	if b.removePending[id] {
+		b.remove(id)
+	}
+}
+
+// Leased reports whether id is currently leased (test visibility).
+func (b *baseScheduler) Leased(id int) bool { return b.leased[id] }
 
 // Block marks an entity unrunnable.
 func (b *baseScheduler) Block(id int) {
@@ -78,7 +130,7 @@ func (b *baseScheduler) Shares() []float64 {
 func (b *baseScheduler) runnable() []*Entity {
 	out := make([]*Entity, 0, len(b.order))
 	for _, id := range b.order {
-		if e := b.entities[id]; e != nil && !e.Blocked {
+		if e := b.entities[id]; e != nil && !e.Blocked && !b.leased[id] {
 			out = append(out, e)
 		}
 	}

@@ -9,6 +9,7 @@ package vnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // MAC is a 6-byte hardware address.
@@ -32,18 +33,29 @@ type Port struct {
 	sw       *Switch
 	id       int
 	receiver func(frame []byte)
+	pending  [][]byte // frames queued while the switch defers delivery
 
 	TxFrames, RxFrames uint64
 }
 
-// Send transmits a frame from this port into the switch.
+// Send transmits a frame from this port into the switch. With the switch in
+// deferred mode the frame is queued on the sending port instead (owner-only
+// state, so concurrent VM workers never contend) and delivered by the next
+// Flush.
 func (p *Port) Send(frame []byte) {
 	p.TxFrames++
+	if p.sw.deferred.Load() {
+		p.pending = append(p.pending, append([]byte(nil), frame...))
+		return
+	}
 	p.sw.forward(p, frame)
 }
 
 // SetReceiver registers the frame sink for this port.
 func (p *Port) SetReceiver(fn func(frame []byte)) { p.receiver = fn }
+
+// Switch returns the switch this port attaches to.
+func (p *Port) Switch() *Switch { return p.sw }
 
 func (p *Port) deliver(frame []byte) {
 	p.RxFrames++
@@ -54,9 +66,10 @@ func (p *Port) deliver(frame []byte) {
 
 // Switch is a learning L2 switch.
 type Switch struct {
-	mu    sync.Mutex
-	ports []*Port
-	fdb   map[MAC]*Port // forwarding database: learned source → port
+	mu       sync.Mutex
+	ports    []*Port
+	fdb      map[MAC]*Port // forwarding database: learned source → port
+	deferred atomic.Bool
 
 	// Stats.
 	Forwarded, Flooded, Dropped uint64
@@ -121,6 +134,38 @@ func (s *Switch) forward(from *Port, frame []byte) {
 	for _, p := range targets {
 		p.deliver(frame)
 	}
+}
+
+// SetDeferred switches between synchronous delivery (the default: Send
+// forwards immediately) and epoch-deferred delivery for parallel host
+// execution: Send queues on the sending port and Flush — called serially at
+// the epoch barrier — performs the actual forwarding. Deferral makes inter-
+// VM traffic independent of worker interleaving: frames are delivered in
+// (port id, send order) rather than in goroutine arrival order.
+// core.Host.RunParallel flips every switch its VMs attach to into deferred
+// mode automatically for the duration of the run.
+func (s *Switch) SetDeferred(on bool) { s.deferred.Store(on) }
+
+// Deferred reports the current delivery mode.
+func (s *Switch) Deferred() bool { return s.deferred.Load() }
+
+// Flush forwards every queued frame, walking ports in id order. It must be
+// called from the epoch barrier (or any other single-threaded context) and
+// returns the number of frames delivered to the switch.
+func (s *Switch) Flush() int {
+	s.mu.Lock()
+	ports := append([]*Port(nil), s.ports...)
+	s.mu.Unlock()
+	n := 0
+	for _, p := range ports {
+		pending := p.pending
+		p.pending = nil
+		for _, frame := range pending {
+			s.forward(p, frame)
+			n++
+		}
+	}
+	return n
 }
 
 // BuildFrame assembles dst|src|payload.
