@@ -66,6 +66,7 @@ func BenchmarkA3_PrecopyBounds(b *testing.B)  { runExperiment(b, "A3") }
 func BenchmarkA4_QueueDepth(b *testing.B)     { runExperiment(b, "A4") }
 func BenchmarkM1_ICache(b *testing.B)         { runExperiment(b, "M1") }
 func BenchmarkM2_ParallelFleet(b *testing.B)  { runExperiment(b, "M2") }
+func BenchmarkM3_Superblocks(b *testing.B)    { runExperiment(b, "M3") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

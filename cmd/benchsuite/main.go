@@ -1,20 +1,45 @@
 // Benchsuite regenerates every table and figure of the reproduced
 // evaluation (see EXPERIMENTS.md) and prints them in order. Pass experiment
-// IDs (e.g. "T1 F7 A2") to run a subset; -list shows what exists.
+// IDs (e.g. "T1 F7 A2") to run a subset; -list shows what exists. Unknown
+// IDs are an error, not a silent no-op.
+//
+// Flags for the perf trajectory:
+//
+//	-json DIR      also write one BENCH_<id>.json per M-series experiment
+//	-cpuprofile F  write a pprof CPU profile of the run (interpreter profiling)
+//	-quick         scale M-series workloads down (CI smoke budgets)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
 	"govisor/internal/bench"
 )
 
+// jsonResult is the machine-readable form of one experiment's table.
+type jsonResult struct {
+	ID      string     `json:"id"`
+	Name    string     `json:"name"`
+	Notes   string     `json:"notes"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Seconds float64    `json:"seconds"`
+	Quick   bool       `json:"quick"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<id>.json files for M-series experiments")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	quick := flag.Bool("quick", false, "scale M-series microbenchmark workloads down for smoke runs")
 	flag.Parse()
 
 	experiments := bench.All()
@@ -25,9 +50,56 @@ func main() {
 		return
 	}
 
+	valid := map[string]bool{}
+	for _, e := range experiments {
+		valid[e.ID] = true
+	}
 	want := map[string]bool{}
+	var unknown []string
 	for _, arg := range flag.Args() {
-		want[strings.ToUpper(arg)] = true
+		id := strings.ToUpper(arg)
+		if !valid[id] {
+			unknown = append(unknown, arg)
+			continue
+		}
+		want[id] = true
+	}
+	if len(unknown) > 0 {
+		ids := make([]string, 0, len(valid))
+		for id := range valid {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(os.Stderr, "benchsuite: unknown experiment(s): %s\nvalid IDs: %s\n",
+			strings.Join(unknown, " "), strings.Join(ids, " "))
+		os.Exit(2)
+	}
+
+	bench.SetQuick(*quick)
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// The profile must be flushed even when experiments fail (that is
+	// exactly when one profiles), so stop it explicitly before any exit
+	// rather than deferring past os.Exit.
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
 	}
 
 	failed := 0
@@ -39,14 +111,34 @@ func main() {
 		fmt.Printf("expected shape: %s\n\n", e.Notes)
 		start := time.Now()
 		table, err := e.Run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Printf("FAILED: %v\n\n", err)
 			failed++
 			continue
 		}
 		fmt.Print(table.String())
-		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(%.1fs)\n\n", elapsed.Seconds())
+		if *jsonDir != "" && strings.HasPrefix(e.ID, "M") {
+			out := jsonResult{
+				ID: e.ID, Name: e.Name, Notes: e.Notes,
+				Header: table.Header, Rows: table.Rows,
+				Seconds: elapsed.Seconds(), Quick: *quick,
+			}
+			buf, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: encoding %s: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			path := filepath.Join(*jsonDir, "BENCH_"+e.ID+".json")
+			if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: writing %s: %v\n", path, err)
+				failed++
+			}
+		}
 	}
+	stopProfile()
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiments failed\n", failed)
 		os.Exit(1)

@@ -25,7 +25,7 @@ func M1ICache() (*metrics.Table, error) {
 
 	// The F3 hot loop: ALU work with one privileged CSR op per 50
 	// instructions, sized up so host timing dominates noise.
-	w := guest.Compute(20000, 50)
+	w := guest.Compute(scaled(20000), 50)
 
 	for _, mode := range []core.Mode{core.ModeNative, core.ModeTrap} {
 		type result struct {
@@ -37,7 +37,13 @@ func M1ICache() (*metrics.Table, error) {
 			if err != nil {
 				return result{}, err
 			}
-			vm, err := newVM(mode, func(c *core.Config) { c.NoICache = noCache })
+			// Superblocks stay off in both arms: M1 is the icache-only
+			// baseline that M3 measures superblock dispatch against, so it
+			// must keep isolating the decoded cache alone.
+			vm, err := newVM(mode, func(c *core.Config) {
+				c.NoICache = noCache
+				c.NoSuperblocks = true
+			})
 			if err != nil {
 				return result{}, err
 			}

@@ -33,7 +33,7 @@ func m2Fleet() (*core.Host, error) {
 		}
 		// ~3.7M guest cycles per VM: several 1 ms scheduling epochs, so the
 		// measurement covers lease/barrier overhead, not just one dispatch.
-		guest.Compute(600_000, 0).Apply(vm)
+		guest.Compute(scaled(600_000), 0).Apply(vm)
 		if err := vm.Boot(kernel); err != nil {
 			return nil, err
 		}

@@ -55,5 +55,7 @@ func All() []Experiment {
 			"≥2× lower host ns/guest-instr with identical guest cycles (the cache is architecturally invisible)"},
 		{"M2", "Simulator: parallel host execution scale-out", M2ParallelFleet,
 			"8-VM fleet wall-clock drops ≈ min(workers, host cores)× with byte-identical guest state at every worker count"},
+		{"M3", "Simulator: superblock execution engine", M3Superblocks,
+			"≥1.5× lower host ns/guest-instr on straight-line workloads with identical guest cycles (blocks are architecturally invisible)"},
 	}
 }

@@ -126,6 +126,10 @@ type Config struct {
 	// and statistics either way) and on by default; turning it off exists
 	// for the differential transparency tests and host-side benchmarking.
 	NoICache bool
+	// NoSuperblocks disables superblock dispatch on top of the icache —
+	// same invisibility contract, same reason to exist. NoICache implies
+	// no superblocks (blocks live in predecoded pages).
+	NoSuperblocks bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -244,6 +248,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 	if !cfg.NoICache {
 		cpu.ICache = vcpu.NewICache()
 	}
+	cpu.NoSuperblocks = cfg.NoSuperblocks
 
 	vm := &VM{
 		Name:        cfg.Name,

@@ -81,6 +81,12 @@ func schedPolicies() []struct {
 
 // buildFleet boots a spec onto a fresh host.
 func buildFleet(t *testing.T, spec fleetSpec, mk func() core.Scheduler) *core.Host {
+	return buildFleetCfg(t, spec, mk, nil)
+}
+
+// buildFleetCfg is buildFleet with a per-VM config tweak hook (the
+// superblock differential toggles block dispatch fleet-wide).
+func buildFleetCfg(t *testing.T, spec fleetSpec, mk func() core.Scheduler, tweak func(*core.Config)) *core.Host {
 	t.Helper()
 	kernel, err := BuildKernel()
 	if err != nil {
@@ -88,7 +94,11 @@ func buildFleet(t *testing.T, spec fleetSpec, mk func() core.Scheduler) *core.Ho
 	}
 	h := core.NewHost(spec.poolFrames, spec.pcpus, mk())
 	for i, fv := range spec.vms {
-		vm, err := h.CreateVM(core.Config{Name: fv.name, Mode: fv.mode, MemBytes: testRAM})
+		cfg := core.Config{Name: fv.name, Mode: fv.mode, MemBytes: testRAM}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		vm, err := h.CreateVM(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,93 @@
+package guest
+
+import (
+	"fmt"
+
+	"govisor/internal/asm"
+	"govisor/internal/gabi"
+	"govisor/internal/isa"
+)
+
+// Stream programs are standalone guest images for the M3 superblock
+// benchmark: loops whose bodies are long unrolled straight-line runs, the
+// shape superblock dispatch is built for. Unlike the I/O programs they run
+// with paging enabled (the VMM-prepared identity tables), so the fetch and
+// data translation fast paths are exercised alongside block dispatch.
+
+// StreamKind selects the unrolled body.
+type StreamKind int
+
+// Stream workload kinds.
+const (
+	// StreamALU is pure register arithmetic: an unrolled add/xor/shift mix.
+	StreamALU StreamKind = iota
+	// StreamCopy is a memory copy: unrolled load/store pairs walking a
+	// source and a destination buffer within a page each iteration.
+	StreamCopy
+)
+
+// String names the kind.
+func (k StreamKind) String() string {
+	if k == StreamCopy {
+		return "copy-stream"
+	}
+	return "alu-stream"
+}
+
+// BuildStreamProgram assembles a stream guest: `iters` iterations over an
+// unrolled body of `unroll` straight-line instructions (ALU ops, or
+// load/store pairs for StreamCopy), then HALT(0). The body plus the 2-op
+// loop tail fits one code page for unroll ≤ 1000, so each iteration is one
+// superblock entry plus a terminator.
+func BuildStreamProgram(kind StreamKind, iters, unroll uint64) ([]byte, error) {
+	if unroll == 0 || unroll > 1000 {
+		return nil, fmt.Errorf("guest: stream unroll %d out of range (1..1000)", unroll)
+	}
+	b := asm.NewBuilder(gabi.KernelBase)
+	b.Mv(isa.RegS11, isa.RegA0) // param base
+	emitTrapStub(b)             // stray traps halt 0xEE
+
+	// Enable paging with the VMM-prepared identity tables.
+	loadParam(b, isa.RegT0, gabi.PSatp)
+	b.Csrw(isa.CSRSatp, isa.RegT0)
+	b.SfenceVMA(isa.RegZero, isa.RegZero)
+
+	// Buffers for the copy kernel: source at the heap base, destination one
+	// page up (immediate offsets walk within the pages).
+	loadParam(b, isa.RegS1, gabi.PHeapBase)
+	b.I(isa.OpSLLI, isa.RegS1, isa.RegS1, isa.PageShift)
+	b.I(isa.OpADDI, isa.RegS2, isa.RegS1, isa.PageSize)
+
+	b.Li(isa.RegS0, iters)
+	b.Label("stream_loop")
+	switch kind {
+	case StreamCopy:
+		// unroll/2 load/store pairs; offsets stay inside one page.
+		for i := uint64(0); i+1 < unroll; i += 2 {
+			off := int64((i / 2) * 8 % isa.PageSize)
+			b.Load(isa.OpLD, isa.RegT1, isa.RegS1, off)
+			b.Store(isa.OpSD, isa.RegT1, isa.RegS2, off)
+		}
+		if unroll%2 != 0 {
+			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+	default:
+		for i := uint64(0); i < unroll; i++ {
+			switch i % 4 {
+			case 0:
+				b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 3)
+			case 1:
+				b.R(isa.OpXOR, isa.RegA1, isa.RegA1, isa.RegA0)
+			case 2:
+				b.R(isa.OpADD, isa.RegA2, isa.RegA2, isa.RegA1)
+			default:
+				b.I(isa.OpSLLI, isa.RegA3, isa.RegA2, 1)
+			}
+		}
+	}
+	b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+	b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, "stream_loop")
+	b.Halt(0)
+	emitTrapStubBody(b)
+	return b.Finish()
+}

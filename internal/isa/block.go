@@ -1,0 +1,46 @@
+package isa
+
+// Superblock classification. The vCPU's superblock engine lowers predecoded
+// code pages into straight-line runs; the run boundaries are an ISA property
+// (which opcodes can transfer control, change privilege or translation state,
+// or suspend to the VMM), so the classification lives here next to the
+// opcode definitions it must stay in sync with.
+
+// IsLoad reports whether op is a memory load.
+func IsLoad(op Op) bool {
+	switch op {
+	case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op is a memory store.
+func IsStore(op Op) bool {
+	switch op {
+	case OpSB, OpSH, OpSW, OpSD:
+		return true
+	}
+	return false
+}
+
+// IsMemOp reports whether op accesses data memory (load or store).
+func IsMemOp(op Op) bool { return IsLoad(op) || IsStore(op) }
+
+// IsBlockStraight reports whether op can appear inside a superblock: on its
+// non-trapping path it retires with PC advancing to the next word and cannot
+// alter control flow, privilege, CSRs, or translation state, and never
+// requires VMM involvement beyond what loads/stores already may (MMIO and
+// host faults, which end the block when they happen). Every other opcode —
+// branches, jumps, system ops, and invalid encodings — is a block terminator.
+func IsBlockStraight(op Op) bool {
+	switch op {
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSLL, OpSRL, OpSRA, OpSLT,
+		OpSLTU, OpMUL, OpMULH, OpDIV, OpDIVU, OpREM, OpREMU,
+		OpADDI, OpANDI, OpORI, OpXORI, OpSLLI, OpSRLI, OpSRAI,
+		OpSLTI, OpSLTIU, OpLUI,
+		OpFENCE:
+		return true
+	}
+	return IsMemOp(op)
+}

@@ -1,0 +1,53 @@
+package isa
+
+import "testing"
+
+// TestBlockClassificationCoversOpcodeSpace pins the superblock classification
+// of every defined opcode: straight-line ops are exactly the ALU, immediate,
+// load/store and FENCE instructions; everything that can redirect control,
+// change privilege/CSR/translation state or suspend to the VMM terminates a
+// block. Adding an opcode without classifying it here fails the test.
+func TestBlockClassificationCoversOpcodeSpace(t *testing.T) {
+	straight := map[Op]bool{
+		OpADD: true, OpSUB: true, OpAND: true, OpOR: true, OpXOR: true,
+		OpSLL: true, OpSRL: true, OpSRA: true, OpSLT: true, OpSLTU: true,
+		OpMUL: true, OpMULH: true, OpDIV: true, OpDIVU: true,
+		OpREM: true, OpREMU: true,
+		OpADDI: true, OpANDI: true, OpORI: true, OpXORI: true,
+		OpSLLI: true, OpSRLI: true, OpSRAI: true, OpSLTI: true,
+		OpSLTIU: true, OpLUI: true,
+		OpLB: true, OpLBU: true, OpLH: true, OpLHU: true,
+		OpLW: true, OpLWU: true, OpLD: true,
+		OpSB: true, OpSH: true, OpSW: true, OpSD: true,
+		OpFENCE: true,
+	}
+	for op := Op(0); int(op) < NumOps; op++ {
+		if got := IsBlockStraight(op); got != straight[op] {
+			t.Errorf("IsBlockStraight(%v) = %v, want %v", op, got, straight[op])
+		}
+	}
+	// Invalid encodings beyond the opcode space must terminate blocks too.
+	if IsBlockStraight(Op(NumOps)) || IsBlockStraight(OpIllegal) {
+		t.Error("invalid opcodes must not be block-straight")
+	}
+}
+
+func TestMemOpClassification(t *testing.T) {
+	loads := []Op{OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD}
+	stores := []Op{OpSB, OpSH, OpSW, OpSD}
+	for _, op := range loads {
+		if !IsLoad(op) || IsStore(op) || !IsMemOp(op) {
+			t.Errorf("%v misclassified as load=%v store=%v mem=%v", op, IsLoad(op), IsStore(op), IsMemOp(op))
+		}
+	}
+	for _, op := range stores {
+		if IsLoad(op) || !IsStore(op) || !IsMemOp(op) {
+			t.Errorf("%v misclassified as load=%v store=%v mem=%v", op, IsLoad(op), IsStore(op), IsMemOp(op))
+		}
+	}
+	for op := Op(0); int(op) < NumOps; op++ {
+		if IsMemOp(op) != (IsLoad(op) || IsStore(op)) {
+			t.Errorf("IsMemOp(%v) inconsistent with IsLoad/IsStore", op)
+		}
+	}
+}

@@ -85,10 +85,33 @@ type GuestPhys struct {
 	// off each other's locks.
 	hint int
 
+	// rmemo is the read fast path: a tiny direct-mapped cache of resolved
+	// readable page slices, validated per access against the page's content
+	// version. Every event that could change what a read returns (stores,
+	// unmap, remap, demand fill, COW break, migration copies) bumps the
+	// version, so a hit proves the cached slice still is what resolveRead +
+	// Pool.Data would produce — the fast path is exact, it only skips host
+	// work. Reads have no guest-visible side effects (no stats, no dirty
+	// bits), so nothing needs replaying on a hit.
+	rmemo [rmemoSlots]readMemo
+
 	// Stats visible to experiments.
 	DirtySets   uint64 // writes that newly dirtied a page
 	COWBreaks   uint64
 	DemandFills uint64
+}
+
+// rmemoSlots is the read fast path's direct-mapped size; straight-line
+// loops stream a handful of pages, the rest stay on the full path.
+const rmemoSlots = 8
+
+// readMemo caches one resolved readable page. data == nil means the page is
+// present but logically zero (an unmaterialized frame). gfn == NoFrame marks
+// an empty slot, so a zero-value memo can never falsely match gfn 0.
+type readMemo struct {
+	gfn  uint64
+	ver  uint64
+	data []byte
 }
 
 // NewGuestPhys creates an address space of size bytes (rounded up to pages)
@@ -108,6 +131,9 @@ func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
 	}
 	for i := range g.hfn {
 		g.hfn[i] = NoFrame
+	}
+	for i := range g.rmemo {
+		g.rmemo[i].gfn = NoFrame
 	}
 	return g
 }
@@ -402,26 +428,40 @@ func (g *GuestPhys) Write(gpa uint64, buf []byte) *Fault {
 }
 
 // ReadUint reads a naturally aligned size-byte little-endian value
-// (size ∈ {1,2,4,8}). This is the interpreter's hot load path.
+// (size ∈ {1,2,4,8}). This is the interpreter's hot load path: the version-
+// validated read memo serves repeat reads of stable pages without the
+// frame-resolution walk (m.gfn is only ever a valid gfn, so a match proves
+// the version index is in range before it is touched).
 func (g *GuestPhys) ReadUint(gpa uint64, size int) (uint64, *Fault) {
+	gfn := gpa >> isa.PageShift
+	m := &g.rmemo[gfn&(rmemoSlots-1)]
+	if m.gfn == gfn && atomic.LoadUint64(&g.ver[gfn]) == m.ver {
+		return readUintFrom(m.data, gpa&isa.PageMask, size), nil
+	}
 	hfn, f := g.resolveRead(gpa, isa.AccRead)
 	if f != nil {
 		return 0, f
 	}
 	data := g.pool.Data(hfn)
+	*m = readMemo{gfn: gfn, ver: atomic.LoadUint64(&g.ver[gfn]), data: data}
+	return readUintFrom(data, gpa&isa.PageMask, size), nil
+}
+
+// readUintFrom decodes the value at off from a page slice; nil means the
+// frame is logically zero.
+func readUintFrom(data []byte, off uint64, size int) uint64 {
 	if data == nil {
-		return 0, nil // zero frame
+		return 0
 	}
-	off := gpa & isa.PageMask
 	switch size {
 	case 1:
-		return uint64(data[off]), nil
+		return uint64(data[off])
 	case 2:
-		return uint64(binary.LittleEndian.Uint16(data[off:])), nil
+		return uint64(binary.LittleEndian.Uint16(data[off:]))
 	case 4:
-		return uint64(binary.LittleEndian.Uint32(data[off:])), nil
+		return uint64(binary.LittleEndian.Uint32(data[off:]))
 	default:
-		return binary.LittleEndian.Uint64(data[off:]), nil
+		return binary.LittleEndian.Uint64(data[off:])
 	}
 }
 

@@ -1,0 +1,109 @@
+package mem
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestReadMemoCoherence: the version-validated read fast path must never
+// serve stale data. Every mutation path — stores, privileged writes, raw
+// migration copies, unmap/repopulate, remap — must be observed by the very
+// next ReadUint of the page.
+func TestReadMemoCoherence(t *testing.T) {
+	p := NewPool(64)
+	g := NewGuestPhys(p, 16*isa.PageSize)
+	addr := uint64(5*isa.PageSize + 64)
+
+	if err := g.Populate(5); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the memo, then mutate through each path and re-read.
+	if v, f := g.ReadUint(addr, 8); f != nil || v != 0 {
+		t.Fatalf("fresh page read %d (%v)", v, f)
+	}
+	if f := g.WriteUint(addr, 8, 0xAB); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := g.ReadUint(addr, 8); v != 0xAB {
+		t.Fatalf("after WriteUint read %#x, want 0xAB", v)
+	}
+	if f := g.WriteUintPriv(addr, 8, 0xCD); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := g.ReadUint(addr, 8); v != 0xCD {
+		t.Fatalf("after WriteUintPriv read %#x, want 0xCD", v)
+	}
+	page := make([]byte, isa.PageSize)
+	page[64] = 0xEF
+	if err := g.WriteRaw(5, page); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.ReadUint(addr, 8); v != 0xEF {
+		t.Fatalf("after WriteRaw read %#x, want 0xEF", v)
+	}
+
+	// Unmap: the next read must fault, not hit the memo.
+	g.Unmap(5)
+	if _, f := g.ReadUint(addr, 8); f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("read of unmapped page: fault %v, want not-present", f)
+	}
+	// Repopulate: reads as zero again.
+	if err := g.Populate(5); err != nil {
+		t.Fatal(err)
+	}
+	if v, f := g.ReadUint(addr, 8); f != nil || v != 0 {
+		t.Fatalf("after repopulate read %d (%v), want 0", v, f)
+	}
+
+	// Remap to a frame with different content (the dedup/migration shape).
+	hfn, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteAt(hfn, 64, []byte{0x77})
+	if v, _ := g.ReadUint(addr, 8); v != 0 {
+		t.Fatal("memo must still see the old frame before the remap")
+	}
+	g.Map(5, hfn)
+	if v, _ := g.ReadUint(addr, 8); v != 0x77 {
+		t.Fatalf("after remap read %#x, want 0x77", v)
+	}
+}
+
+// TestReadMemoNeverFalselyHitsGfnZero: a zero-value memo slot must not match
+// gfn 0 of an unmapped page — the very first read of an untouched space must
+// fault like it always did.
+func TestReadMemoNeverFalselyHitsGfnZero(t *testing.T) {
+	g := NewGuestPhys(NewPool(8), 4*isa.PageSize)
+	if _, f := g.ReadUint(0, 8); f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("read of never-mapped gfn 0: fault %v, want not-present", f)
+	}
+}
+
+// TestReadMemoAliasedSlots: pages that collide in the direct-mapped memo
+// must displace each other without cross-talk.
+func TestReadMemoAliasedSlots(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 32*isa.PageSize)
+	a := uint64(2)      // slot 2
+	b := a + rmemoSlots // same slot
+	for _, gfn := range []uint64{a, b} {
+		if err := g.Populate(gfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := g.WriteUint(a*isa.PageSize, 8, 0xAAAA); f != nil {
+		t.Fatal(f)
+	}
+	if f := g.WriteUint(b*isa.PageSize, 8, 0xBBBB); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := g.ReadUint(a*isa.PageSize, 8); v != 0xAAAA {
+			t.Fatalf("page a read %#x", v)
+		}
+		if v, _ := g.ReadUint(b*isa.PageSize, 8); v != 0xBBBB {
+			t.Fatalf("page b read %#x", v)
+		}
+	}
+}

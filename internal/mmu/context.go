@@ -108,6 +108,7 @@ type Context struct {
 	Stats Stats
 
 	fetch fetchMemo
+	data  [dataMemoSlots]dataMemo
 }
 
 // fetchMemo caches the last successful instruction-fetch translation. It is
@@ -127,6 +128,23 @@ type fetchMemo struct {
 	entry *tlb.Entry
 	ppn   uint64
 }
+
+// dataMemoSlots is the size of the per-context data-translation memo, a
+// direct-mapped cache indexed by low VPN bits. Small on purpose: the memo
+// only needs to cover the handful of pages a straight-line loop streams
+// through (source, destination, stack); the TLB proper covers the rest.
+const dataMemoSlots = 8
+
+// dataMemo caches one successful load/store translation, the data-side
+// sibling of fetchMemo — same fields, same validity discipline (same SATP,
+// same privilege, same virtual page, no TLB insert or flush since). On a
+// hit TranslateData replays exactly the bookkeeping the full path would
+// perform — translation count, LRU stamp, TLB hit count — plus a
+// permission check against the live entry, which the fetch memo's hit path
+// can skip (fetch access is always AccExec, so the fill-time check stands
+// while the entry is unchanged) but the data memo cannot (the access kind
+// varies per call).
+type dataMemo = fetchMemo
 
 // NewContext builds a context with the default TLB geometry.
 func NewContext(m *mem.GuestPhys, style Style) *Context {
@@ -247,6 +265,95 @@ func (c *Context) TranslateFetch(va uint64, userMode bool) (gpa uint64, refs int
 	default:
 		return c.translateWalk(va, isa.AccExec, userMode, asid)
 	}
+}
+
+// ReplayFetch replays the accounting of one more instruction fetch from the
+// virtual page the fetch memo currently covers — the superblock engine's
+// per-instruction fetch, where the block entry already performed the real
+// TranslateFetch. It returns false (performing nothing) when the memo cannot
+// prove the replay exact — unset, a different page, or a TLB insert/flush
+// since the memo was filled — and the caller must fall back to the full
+// fetch path. Callers guarantee SATP and the privilege level are unchanged
+// since the memo was filled (inside a superblock neither can change: CSR
+// writes and traps both end the block before the next fetch).
+func (c *Context) ReplayFetch(va uint64) bool {
+	m := &c.fetch
+	if !m.valid || va>>isa.PageShift != m.vpn {
+		return false
+	}
+	if !m.paged {
+		c.Stats.Translations++
+		return true
+	}
+	if c.TLB.Gen() != m.gen {
+		return false
+	}
+	c.Stats.Translations++
+	c.TLB.Touch(m.entry)
+	return true
+}
+
+// TranslateData is Translate specialized for loads and stores. Behaviour,
+// cycle charging and every statistic are identical to calling Translate with
+// the same arguments; repeated accesses to recently used data pages skip the
+// TLB set scan through a small direct-mapped memo revalidated against SATP,
+// the privilege level and the TLB generation on every call. Permissions are
+// rechecked per access from the live TLB entry, so a page readable but not
+// writable faults on stores exactly as the full path does.
+func (c *Context) TranslateData(va uint64, acc isa.Access, userMode bool) (gpa uint64, refs int, fault *Fault) {
+	vpn := va >> isa.PageShift
+	m := &c.data[vpn&(dataMemoSlots-1)]
+	if m.valid && m.satp == c.Satp && m.user == userMode && m.vpn == vpn {
+		if !m.paged {
+			c.Stats.Translations++
+			return va, 0, nil
+		}
+		if c.TLB.Gen() == m.gen {
+			c.Stats.Translations++
+			c.TLB.Touch(m.entry)
+			if f := c.checkTLBPerms(m.entry.Perms, acc, userMode, va); f != nil {
+				return 0, 0, f
+			}
+			return m.ppn<<isa.PageShift | va&isa.PageMask, 0, nil
+		}
+	}
+	m.valid = false
+	c.Stats.Translations++
+	if !c.Enabled() {
+		*m = dataMemo{valid: true, satp: c.Satp, user: userMode, vpn: vpn}
+		return va, 0, nil
+	}
+	asid := c.asid()
+	if e, ok := c.TLB.LookupRef(asid, va); ok {
+		if f := c.checkTLBPerms(e.Perms, acc, userMode, va); f != nil {
+			return 0, 0, f
+		}
+		*m = dataMemo{valid: true, paged: true, satp: c.Satp, user: userMode,
+			vpn: vpn, gen: c.TLB.Gen(), entry: e, ppn: e.PPN}
+		return e.PPN<<isa.PageShift | va&isa.PageMask, 0, nil
+	}
+	switch c.Style {
+	case StyleShadow:
+		return c.translateShadow(va, acc, userMode, asid)
+	default:
+		return c.translateWalk(va, acc, userMode, asid)
+	}
+}
+
+// MaxWalkRefs returns an upper bound on the page-table references a single
+// translation can cost in the current configuration — the superblock
+// engine's worst case when bounding a block's cycle span. With paging
+// disabled translations are free; a 1-D walk references at most PTLevels
+// entries; nested paging pays the 2-D surcharge on a full walk.
+func (c *Context) MaxWalkRefs() uint64 {
+	if !c.Enabled() {
+		return 0
+	}
+	refs := uint64(isa.PTLevels)
+	if c.Style == StyleNested {
+		refs += (refs + 1) * uint64(c.NestedLevels)
+	}
+	return refs
 }
 
 func (c *Context) checkTLBPerms(perms uint8, acc isa.Access, userMode bool, va uint64) *Fault {

@@ -1,0 +1,145 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestTranslateDataEquivalence is TestTranslateFetchEquivalence's data-side
+// twin: two identical contexts, one translating loads/stores with the
+// generic Translate, the other with the memoized TranslateData, driven by
+// the same randomized stream of data accesses, fetches, flushes and SATP
+// rewrites. Results, faults, reference counts and every statistic must stay
+// identical at every step — including permission faults replayed from the
+// memo and memo invalidation by TLB inserts, evictions and flushes.
+func TestTranslateDataEquivalence(t *testing.T) {
+	build := func() (*Context, uint64) {
+		g := newSpace(t, 128)
+		root := buildIdentity(t, g, 64*isa.PageSize, 96,
+			isa.PTERead|isa.PTEWrite|isa.PTEExec)
+		c := NewContext(g, StyleDirect)
+		c.SetSatp(isa.MakeSatp(isa.SatpModePaged, 1, root))
+		return c, root
+	}
+	ref, rootA := build()
+	fast, rootB := build()
+	if rootA != rootB {
+		t.Fatalf("roots differ: %d vs %d", rootA, rootB)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	check := func(step int, gr, gf uint64, rr, rf int, fr, ff *Fault) {
+		t.Helper()
+		if (fr == nil) != (ff == nil) {
+			t.Fatalf("step %d: fault mismatch %v vs %v", step, fr, ff)
+		}
+		if fr != nil && (fr.Kind != ff.Kind || fr.Cause != ff.Cause) {
+			t.Fatalf("step %d: fault detail mismatch %v vs %v", step, fr, ff)
+		}
+		if gr != gf || rr != rf {
+			t.Fatalf("step %d: result mismatch (%#x,%d) vs (%#x,%d)", step, gr, rr, gf, rf)
+		}
+		if ref.Stats != fast.Stats {
+			t.Fatalf("step %d: mmu stats diverged\nref  %+v\nfast %+v", step, ref.Stats, fast.Stats)
+		}
+		if ref.TLB.Stats != fast.TLB.Stats {
+			t.Fatalf("step %d: tlb stats diverged\nref  %+v\nfast %+v", step, ref.TLB.Stats, fast.TLB.Stats)
+		}
+	}
+
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(100); {
+		case op < 70:
+			// Data access, usually clustered on a few hot pages so the memo
+			// engages (the loop's source/destination pages), sometimes beyond
+			// the mapped region so guest faults replay too, sometimes from
+			// user mode so permission faults replay from the memo.
+			var va uint64
+			switch rng.Intn(10) {
+			case 0:
+				va = uint64(rng.Intn(80)) << isa.PageShift // may fault
+			default:
+				va = uint64(rng.Intn(4))<<isa.PageShift + uint64(rng.Intn(512))*8
+			}
+			acc := isa.AccRead
+			if rng.Intn(2) == 0 {
+				acc = isa.AccWrite
+			}
+			user := rng.Intn(8) == 0
+			gr, rr, fr := ref.Translate(va, acc, user)
+			gf, rf, ff := fast.TranslateData(va, acc, user)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 90:
+			// Instruction fetch through the fetch path on both sides: TLB
+			// inserts and LRU churn that can evict data entries underneath
+			// the data memo.
+			va := uint64(rng.Intn(64))<<isa.PageShift + uint64(rng.Intn(1024))*4
+			gr, rr, fr := ref.TranslateFetch(va, false)
+			gf, rf, ff := fast.TranslateFetch(va, false)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 96:
+			// SFENCE of one page or the whole space.
+			va := uint64(rng.Intn(64)) << isa.PageShift
+			if rng.Intn(4) == 0 {
+				va = 0
+			}
+			ref.Flush(va, 0)
+			fast.Flush(va, 0)
+		default:
+			// SATP rewrite (ASID flip): exercises the memo's satp guard.
+			satp := isa.MakeSatp(isa.SatpModePaged, uint16(1+rng.Intn(2)), rootA)
+			ref.SetSatp(satp)
+			fast.SetSatp(satp)
+		}
+	}
+}
+
+// TestTranslateDataBareMode: with paging disabled the memo must still count
+// translations exactly and pass addresses through.
+func TestTranslateDataBareMode(t *testing.T) {
+	g := newSpace(t, 16)
+	c := NewContext(g, StyleDirect)
+	for i := 0; i < 10; i++ {
+		gpa, refs, fault := c.TranslateData(uint64(i)*64, isa.AccWrite, false)
+		if fault != nil || refs != 0 || gpa != uint64(i)*64 {
+			t.Fatalf("bare translate: gpa %#x refs %d fault %v", gpa, refs, fault)
+		}
+	}
+	if c.Stats.Translations != 10 {
+		t.Fatalf("translations = %d, want 10", c.Stats.Translations)
+	}
+	if c.TLB.Stats.Hits != 0 || c.TLB.Stats.Misses != 0 {
+		t.Fatalf("bare mode touched the TLB: %+v", c.TLB.Stats)
+	}
+}
+
+// TestMaxWalkRefsBounds pins the span bound the superblock engine uses: no
+// single translation may ever cost more references than MaxWalkRefs claims.
+func TestMaxWalkRefsBounds(t *testing.T) {
+	for _, style := range []Style{StyleDirect, StyleNested, StyleShadow} {
+		g := newSpace(t, 128)
+		root := buildIdentity(t, g, 64*isa.PageSize, 96,
+			isa.PTERead|isa.PTEWrite|isa.PTEExec)
+		c := NewContext(g, style)
+		if got := c.MaxWalkRefs(); got != 0 {
+			t.Errorf("%v: bare-mode MaxWalkRefs = %d, want 0", style, got)
+		}
+		c.SetSatp(isa.MakeSatp(isa.SatpModePaged, 1, root))
+		bound := c.MaxWalkRefs()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 5000; i++ {
+			va := uint64(rng.Intn(80))<<isa.PageShift + uint64(rng.Intn(512))*8
+			acc := isa.Access(rng.Intn(3))
+			_, refs, fault := c.Translate(va, acc, rng.Intn(4) == 0)
+			if uint64(refs) > bound {
+				t.Fatalf("%v: translation cost %d refs > bound %d", style, refs, bound)
+			}
+			if style == StyleShadow && fault != nil && fault.Kind == FaultShadowMiss {
+				// Fill so later accesses exercise the filled path too.
+				c.Shadow.Fill(root, va, acc, false)
+			}
+		}
+	}
+}

@@ -53,6 +53,17 @@ type CPU struct {
 	// off; only host-side speed changes.
 	ICache *ICache
 
+	// NoSuperblocks disables superblock dispatch (see superblock.go),
+	// pinning execution to the per-instruction path even when the ICache is
+	// on. Superblocks are architecturally invisible like the ICache they
+	// build on; the switch exists for the differential transparency tests
+	// and for isolating their host-side speedup in benchmarks.
+	NoSuperblocks bool
+
+	// blockExit carries the rare Exit out of the superblock executors so the
+	// per-instruction status stays a small int (see superblock.go).
+	blockExit Exit
+
 	Stats Stats
 }
 
@@ -146,6 +157,18 @@ func (c *CPU) fetchTranslate(va uint64) (gpa uint64, ex Exit, ok bool) {
 	return c.translateFault(va, isa.AccExec, fault)
 }
 
+// translateData is translate for loads and stores via the MMU's memoized
+// data path: identical cycle charges, faults and statistics, less host work
+// while accesses revisit recently used pages.
+func (c *CPU) translateData(va uint64, acc isa.Access) (gpa uint64, ex Exit, ok bool) {
+	gpa, refs, fault := c.MMU.TranslateData(va, acc, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault == nil {
+		return gpa, Exit{}, true
+	}
+	return c.translateFault(va, acc, fault)
+}
+
 func (c *CPU) translateFault(va uint64, acc isa.Access, fault *mmu.Fault) (gpa uint64, ex Exit, ok bool) {
 	switch fault.Kind {
 	case mmu.FaultGuest:
@@ -212,10 +235,24 @@ func (c *CPU) Run(budget uint64) Exit {
 				return ex
 			}
 			if p := ic.lookup(c.Mem, gpa>>isa.PageShift); p != nil {
+				i := (gpa & isa.PageMask) >> 2
+				// Superblock dispatch: a straight-line run of ≥2 decoded
+				// instructions executes as one unit when no event boundary
+				// (quantum, timer latch, interrupt window) can land inside
+				// its cycle span; otherwise fall through to the exact
+				// per-instruction path below.
+				if !c.NoSuperblocks && p.blkLen[i] > 1 {
+					ex, done, dispatched := c.runBlock(p, i, gpa>>isa.PageShift, deadline)
+					if dispatched {
+						if done {
+							return ex
+						}
+						continue
+					}
+				}
 				// Lazy slot decode, spelled out here because the compiler
 				// will not inline it as a method and this is the hottest
 				// line in the simulator.
-				i := (gpa & isa.PageMask) >> 2
 				if p.valid[i>>6]&(1<<(i&63)) == 0 {
 					p.ins[i] = isa.Decode(p.raw[i])
 					p.valid[i>>6] |= 1 << (i & 63)
@@ -499,7 +536,7 @@ func (c *CPU) execLoad(in isa.Inst) (Exit, bool) {
 		}
 		return Exit{}, false
 	}
-	gpa, ex, ok := c.translate(va, isa.AccRead)
+	gpa, ex, ok := c.translateData(va, isa.AccRead)
 	if !ok {
 		return ex, ex.Reason != ExitNone
 	}
@@ -545,7 +582,7 @@ func (c *CPU) execStore(in isa.Inst) (Exit, bool) {
 		}
 		return Exit{}, false
 	}
-	gpa, ex, ok := c.translate(va, isa.AccWrite)
+	gpa, ex, ok := c.translateData(va, isa.AccWrite)
 	if !ok {
 		return ex, ex.Reason != ExitNone
 	}

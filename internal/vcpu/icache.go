@@ -11,10 +11,10 @@ import (
 // instPerPage is how many 32-bit instruction slots one guest page holds.
 const instPerPage = isa.PageSize / 4
 
-// maxCachedPages bounds the cache's host memory (~12 KiB per page). Guests
+// maxCachedPages bounds the cache's host memory (~20 KiB per page). Guests
 // execute from a handful of pages, so the bound only matters for pathological
-// code that jumps through all of RAM; hitting it drops the whole cache and
-// predecode refills on demand.
+// code that jumps through all of RAM; hitting it evicts the least recently
+// fetched page and predecode refills on demand.
 const maxCachedPages = 1024
 
 // decodedPage is one guest code page in instruction form. Raw words are
@@ -23,11 +23,23 @@ const maxCachedPages = 1024
 // invalidation costs one page copy rather than a thousand decodes — a guest
 // that keeps storing to a page it executes from degrades gracefully instead
 // of falling off a predecode cliff.
+//
+// Fill also lowers the page into superblocks: blkLen[i] is the number of
+// straight-line instructions (isa.IsBlockStraight) starting at slot i before
+// the next block terminator — branch, jump, system op, invalid slot or the
+// page boundary — and blkMem[i] counts the loads/stores among them. Both are
+// suffix sums over the raw opcode bytes, so any slot can enter block
+// dispatch mid-run (a block that bails at instruction k resumes as the
+// k-suffix block). Terminator slots have blkLen 0 and execute on the
+// single-instruction path.
 type decodedPage struct {
-	ver   uint64 // mem.GuestPhys.PageVersion at fill time
-	valid [instPerPage / 64]uint64
-	ins   [instPerPage]isa.Inst
-	raw   [instPerPage]uint32
+	ver     uint64 // mem.GuestPhys.PageVersion at fill time
+	lastUse uint64 // ICache tick at fill / last transition to MRU, for eviction
+	valid   [instPerPage / 64]uint64
+	ins     [instPerPage]isa.Inst
+	raw     [instPerPage]uint32
+	blkLen  [instPerPage]uint16
+	blkMem  [instPerPage]uint16
 }
 
 // The lazy slot decode (check valid bit, isa.Decode on first touch) lives
@@ -42,6 +54,7 @@ type ICacheStats struct {
 	Misses        uint64 // fetches from pages not in the cache
 	Invalidations uint64 // fetches that found a stale cached page
 	Predecodes    uint64 // pages (re)filled; slot decode is lazy on top
+	Evictions     uint64 // pages dropped to stay under maxCachedPages
 }
 
 // ICache is the decoded-instruction block cache on the interpreter's fetch
@@ -59,6 +72,7 @@ type ICache struct {
 	pages  map[uint64]*decodedPage
 	curGfn uint64 // one-entry MRU so streaming a page skips the map
 	cur    *decodedPage
+	tick   uint64 // advances on fills and MRU transitions; orders eviction
 	buf    [isa.PageSize]byte
 	Stats  ICacheStats
 }
@@ -80,6 +94,8 @@ func (ic *ICache) lookup(g *mem.GuestPhys, gfn uint64) *decodedPage {
 			return nil
 		}
 		ic.curGfn, ic.cur = gfn, p
+		ic.tick++
+		p.lastUse = ic.tick
 	}
 	if p.ver != g.PageVersion(gfn) {
 		ic.Stats.Invalidations++
@@ -91,22 +107,66 @@ func (ic *ICache) lookup(g *mem.GuestPhys, gfn uint64) *decodedPage {
 	return p
 }
 
-// fill captures the raw words of the page at gfn; instruction decode happens
-// lazily per slot. It is called only after an uncached fetch from the page
-// succeeded, so the page is present in guest RAM; the raw read has no
-// guest-visible side effects (no dirty bits, no stats, no cycles).
+// fill captures the raw words of the page at gfn and lowers it into
+// superblocks; instruction decode happens lazily per slot. It is called only
+// after an uncached fetch from the page succeeded, so the page is present in
+// guest RAM; the raw read has no guest-visible side effects (no dirty bits,
+// no stats, no cycles).
 func (ic *ICache) fill(g *mem.GuestPhys, gfn uint64) {
 	if len(ic.pages) >= maxCachedPages {
-		ic.pages = make(map[uint64]*decodedPage)
+		ic.evictOne()
 	}
 	p := &decodedPage{ver: g.PageVersion(gfn)}
 	g.ReadRaw(gfn, ic.buf[:])
 	for i := 0; i < instPerPage; i++ {
 		p.raw[i] = binary.LittleEndian.Uint32(ic.buf[i*4:])
 	}
+	// Superblock lowering: one backward pass computes, per slot, the
+	// straight-line run length to the next terminator and the memory-op
+	// count within it. Classification needs only the opcode bits, so the
+	// pass stays on the raw words and full decode stays lazy.
+	for i := instPerPage - 1; i >= 0; i-- {
+		op := isa.Op(p.raw[i] >> 26)
+		if !isa.IsBlockStraight(op) {
+			continue // terminator: blkLen stays 0
+		}
+		var memOp uint16
+		if isa.IsMemOp(op) {
+			memOp = 1
+		}
+		if i == instPerPage-1 {
+			p.blkLen[i], p.blkMem[i] = 1, memOp
+		} else {
+			p.blkLen[i] = p.blkLen[i+1] + 1
+			p.blkMem[i] = p.blkMem[i+1] + memOp
+		}
+	}
 	ic.pages[gfn] = p
 	ic.curGfn, ic.cur = gfn, p
+	ic.tick++
+	p.lastUse = ic.tick
 	ic.Stats.Predecodes++
+}
+
+// evictOne drops the least recently fetched page (ties broken on the lower
+// gfn so the choice is independent of map iteration order — the cache must
+// behave identically run to run even though it is host-side only).
+func (ic *ICache) evictOne() {
+	victim := mem.NoFrame
+	var vp *decodedPage
+	for gfn, p := range ic.pages {
+		if vp == nil || p.lastUse < vp.lastUse || (p.lastUse == vp.lastUse && gfn < victim) {
+			victim, vp = gfn, p
+		}
+	}
+	if vp == nil {
+		return
+	}
+	delete(ic.pages, victim)
+	if victim == ic.curGfn {
+		ic.curGfn, ic.cur = mem.NoFrame, nil
+	}
+	ic.Stats.Evictions++
 }
 
 // HitRate returns hits / all lookups, or 0 when idle.
@@ -129,5 +189,6 @@ func (ic *ICache) Counters() *metrics.CounterSet {
 	s.Add("icache_misses", ic.Stats.Misses)
 	s.Add("icache_invalidations", ic.Stats.Invalidations)
 	s.Add("icache_predecodes", ic.Stats.Predecodes)
+	s.Add("icache_evictions", ic.Stats.Evictions)
 	return s
 }

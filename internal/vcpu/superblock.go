@@ -1,0 +1,229 @@
+package vcpu
+
+import (
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/mmu"
+)
+
+// Superblock execution: straight-line runs of predecoded instructions
+// dispatched as one unit, with the per-instruction event checks hoisted to
+// block entry. The engine is architecturally invisible by construction:
+//
+//   - Event horizon. The slow path checks the quantum deadline, the STIMECMP
+//     latch and pending interrupts before every instruction. Inside a block
+//     none of those checks can fire: dispatch requires that the block's
+//     worst-case cycle span stays strictly below both the deadline and an
+//     unlatched STIMECMP, and nothing inside a block can make a new
+//     interrupt pending (Sip/Sie/Sstatus only change via CSR writes, traps
+//     and VMM injection — the first two end blocks, the last happens outside
+//     Run). When the horizon check fails, the caller falls back to the
+//     per-instruction path, so event boundaries land on exactly the same
+//     instruction as an unblocked run.
+//
+//   - Bail-anywhere. Skipped checks are reads with no side effects (the one
+//     write, the STIMECMP latch, is excluded by the horizon), so abandoning
+//     a block at any instruction boundary and resuming the outer loop is
+//     always exact: the outer loop performs precisely the checks the slow
+//     path would have performed at that boundary. The engine uses this
+//     liberally — a guest trap redirecting the PC, a TLB generation change
+//     under the fetch stream, or a store invalidating the executing page all
+//     just end the block.
+//
+//   - Exact replay. Fetch translations for instructions after the first are
+//     replayed through mmu.Context.ReplayFetch (translation count, TLB LRU
+//     stamp and hit counter — identical to what TranslateFetch would do),
+//     and cycle/instret accounting is batched into one addition per block,
+//     which is exact because nothing inside a block reads the clock.
+
+// runBlock executes the superblock starting at slot idx of predecoded page p
+// (whose guest-physical page is gfn), assuming the caller already performed
+// this instruction's fetch translation and event checks. dispatched reports
+// whether the block was entered at all; when false nothing happened and the
+// caller must execute the instruction on the single-instruction path. When
+// done is true, Run must return ex; otherwise the outer loop resumes at the
+// current PC (which may be mid-block after a bail, or the terminator).
+func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done, dispatched bool) {
+	n := uint64(p.blkLen[idx])
+	// Worst-case cycle span: every instruction's base cost plus, for each
+	// memory op, the access itself and a maximal page-table walk. Fetch
+	// replays add no cycles (a TLB geometry change ends the block before a
+	// fetch could walk).
+	span := n*c.Costs.Instr +
+		uint64(p.blkMem[idx])*(c.Costs.MemAccess+c.MMU.MaxWalkRefs()*c.Costs.PTRef)
+	horizon := c.Cycles + span
+	if horizon >= deadline {
+		return Exit{}, false, false
+	}
+	if cmp := c.CSR.Stimecmp; cmp != 0 && horizon >= cmp && c.CSR.Sip&(1<<isa.IntTimer) == 0 {
+		return Exit{}, false, false
+	}
+
+	instr := c.Costs.Instr
+	var retired uint64
+loop:
+	for retired < n {
+		j := idx + retired
+		if p.valid[j>>6]&(1<<(j&63)) == 0 {
+			p.ins[j] = isa.Decode(p.raw[j])
+			p.valid[j>>6] |= 1 << (j & 63)
+		}
+		in := p.ins[j]
+		if retired > 0 && !c.MMU.ReplayFetch(c.PC) {
+			break // TLB insert/flush under the fetch stream: resume slow
+		}
+		retired++
+		// Loads and stores run on block-specialized executors: identical
+		// guest-visible semantics to execLoad/execStore (the differential
+		// suite holds the two in lockstep), but status is a small int and
+		// the rare Exit goes through c.blockExit, keeping the large Exit
+		// struct out of the per-instruction return path.
+		var st int
+		switch {
+		case isa.IsLoad(in.Op):
+			st = c.blockLoad(in)
+		case isa.IsStore(in.Op):
+			st = c.blockStore(in, gfn)
+		default:
+			pcNext := c.PC + 4
+			ex, d := c.execute(in, p.raw[j])
+			if d {
+				c.Cycles += retired * instr
+				c.Instret += retired
+				return ex, true, true
+			}
+			if c.PC == pcNext {
+				st = bOK
+			} else {
+				st = bTrap
+			}
+		}
+		switch st {
+		case bOK:
+		case bExit:
+			c.Cycles += retired * instr
+			c.Instret += retired
+			return c.blockExit, true, true
+		default: // bTrap: control redirected; bSMC: the block wrote itself
+			break loop
+		}
+	}
+	c.Cycles += retired * instr
+	c.Instret += retired
+	return Exit{}, false, true
+}
+
+// Block executor statuses.
+const (
+	bOK   = iota // retired; continue the block
+	bTrap        // a guest trap redirected control in place; end the block
+	bExit        // Run must return c.blockExit
+	bSMC         // retired, but the store hit the executing code page
+)
+
+// blockGuestTrap delivers a guest trap from inside a block.
+func (c *CPU) blockGuestTrap(cause, tval uint64) int {
+	if e, exited := c.guestTrap(cause, tval); exited {
+		c.blockExit = e
+		return bExit
+	}
+	return bTrap
+}
+
+// blockTranslateFault is translateFault with block-status results.
+func (c *CPU) blockTranslateFault(va uint64, acc isa.Access, fault *mmu.Fault) int {
+	switch fault.Kind {
+	case mmu.FaultGuest:
+		return c.blockGuestTrap(fault.Cause, va)
+	case mmu.FaultShadowMiss:
+		c.blockExit = c.vmExit(Exit{Reason: ExitShadowMiss, VA: va, Access: acc})
+		return bExit
+	default: // mmu.FaultHost
+		c.blockExit = c.vmExit(Exit{Reason: ExitHostFault, VA: va, Access: acc, Mem: fault.Mem})
+		return bExit
+	}
+}
+
+// blockLoad is execLoad for the block path. Semantics, cycle charges, fault
+// taxonomy and statistics are identical — any change here must land in
+// execLoad too (and vice versa); the superblock differential tests enforce
+// the lockstep.
+func (c *CPU) blockLoad(in isa.Inst) int {
+	size, signed := loadMeta(in.Op)
+	va := c.X[in.Rs1] + uint64(int64(in.Imm))
+	if va&uint64(size-1) != 0 {
+		return c.blockGuestTrap(isa.CauseLoadMisaligned, va)
+	}
+	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccRead, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault != nil {
+		return c.blockTranslateFault(va, isa.AccRead, fault)
+	}
+	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
+		c.PC += 4
+		c.blockExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
+			GPA: gpa, Size: uint8(size), Rd: in.Rd, Signed: signed,
+		}})
+		return bExit
+	}
+	c.Cycles += c.Costs.MemAccess
+	v, f := c.Mem.ReadUint(gpa, size)
+	if f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			return c.blockGuestTrap(isa.CauseLoadAccess, va)
+		}
+		c.blockExit = c.memFaultExit(va, isa.AccRead, f)
+		return bExit
+	}
+	if signed {
+		switch size {
+		case 1:
+			v = uint64(int64(int8(v)))
+		case 2:
+			v = uint64(int64(int16(v)))
+		case 4:
+			v = uint64(int64(int32(v)))
+		}
+	}
+	c.SetReg(in.Rd, v)
+	c.PC += 4
+	return bOK
+}
+
+// blockStore is execStore for the block path (same lockstep contract as
+// blockLoad). codeGfn is the executing page: a store landing there is
+// self-modifying code, which the per-instruction path would observe on the
+// very next fetch, so the block ends after the store retires.
+func (c *CPU) blockStore(in isa.Inst, codeGfn uint64) int {
+	size := storeSize(in.Op)
+	va := c.X[in.Rs1] + uint64(int64(in.Imm))
+	val := c.X[in.Rs2]
+	if va&uint64(size-1) != 0 {
+		return c.blockGuestTrap(isa.CauseStoreMisaligned, va)
+	}
+	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccWrite, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault != nil {
+		return c.blockTranslateFault(va, isa.AccWrite, fault)
+	}
+	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
+		c.PC += 4
+		c.blockExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
+			GPA: gpa, Size: uint8(size), Write: true, Value: val,
+		}})
+		return bExit
+	}
+	c.Cycles += c.Costs.MemAccess
+	if f := c.Mem.WriteUint(gpa, size, val); f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			return c.blockGuestTrap(isa.CauseStoreAccess, va)
+		}
+		c.blockExit = c.memFaultExit(va, isa.AccWrite, f)
+		return bExit
+	}
+	c.PC += 4
+	if gpa>>isa.PageShift == codeGfn {
+		return bSMC
+	}
+	return bOK
+}

@@ -1,0 +1,287 @@
+package vcpu
+
+import (
+	"testing"
+
+	"govisor/internal/asm"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/mmu"
+)
+
+// newCPUPairSB builds two CPUs over identical images, both with the decoded
+// cache, differing only in superblock dispatch.
+func newCPUPairSB(t *testing.T, img []byte, tweak func(*CPU)) (blocks, slow *CPU) {
+	t.Helper()
+	build := func(noSB bool) *CPU {
+		g := mem.NewGuestPhys(mem.NewPool(ramPages*2), ramPages*isa.PageSize)
+		if err := g.PopulateAll(); err != nil {
+			t.Fatal(err)
+		}
+		if f := g.Write(0x1000, img); f != nil {
+			t.Fatal(f)
+		}
+		c := New(g, mmu.NewContext(g, mmu.StyleDirect))
+		c.Priv = PrivS
+		c.PC = 0x1000
+		c.ICache = NewICache()
+		c.NoSuperblocks = noSB
+		if tweak != nil {
+			tweak(c)
+		}
+		return c
+	}
+	return build(false), build(true)
+}
+
+// compareCPUs asserts every architectural and statistical field matches.
+func compareCPUs(t *testing.T, label string, a, b *CPU) {
+	t.Helper()
+	if a.Cycles != b.Cycles || a.Instret != b.Instret {
+		t.Errorf("%s: time diverged: blocks (cyc=%d ret=%d) slow (cyc=%d ret=%d)",
+			label, a.Cycles, a.Instret, b.Cycles, b.Instret)
+	}
+	if a.X != b.X || a.PC != b.PC || a.Priv != b.Priv {
+		t.Errorf("%s: register state diverged (pc %#x vs %#x)", label, a.PC, b.PC)
+	}
+	if a.CSR != b.CSR {
+		t.Errorf("%s: CSR state diverged: %+v vs %+v", label, a.CSR, b.CSR)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("%s: exit stats diverged: %+v vs %+v", label, a.Stats, b.Stats)
+	}
+	if a.MMU.Stats != b.MMU.Stats {
+		t.Errorf("%s: MMU stats diverged: %+v vs %+v", label, a.MMU.Stats, b.MMU.Stats)
+	}
+	if a.MMU.TLB.Stats != b.MMU.TLB.Stats {
+		t.Errorf("%s: TLB stats diverged: %+v vs %+v", label, a.MMU.TLB.Stats, b.MMU.TLB.Stats)
+	}
+}
+
+// straightLineImg builds a program whose body is one long straight-line run:
+// n ALU instructions mixing in a load+store pair every 8 ops, then HALT.
+func straightLineImg(t *testing.T, n int) []byte {
+	t.Helper()
+	b := asm.NewBuilder(0x1000)
+	b.Li(isa.RegS0, 0x8000) // scratch page
+	for i := 0; i < n; i++ {
+		switch i % 8 {
+		case 3:
+			b.Load(isa.OpLD, isa.RegT1, isa.RegS0, 0)
+		case 6:
+			b.Store(isa.OpSD, isa.RegA0, isa.RegS0, 8)
+		default:
+			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+	}
+	b.Halt(0)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestSuperblockQuantumFallback: quantum expiry must land on exactly the
+// same instruction with blocks on or off — the horizon check falls back to
+// the per-instruction path whenever the deadline could land inside a block.
+// Swept across budgets so the deadline lands on every boundary of the run,
+// including deep inside would-be blocks.
+func TestSuperblockQuantumFallback(t *testing.T) {
+	img := straightLineImg(t, 100)
+	for budget := uint64(1); budget < 160; budget += 3 {
+		blocks, slow := newCPUPairSB(t, img, nil)
+		for {
+			exB := blocks.Run(budget)
+			exS := slow.Run(budget)
+			if exB.Reason != exS.Reason {
+				t.Fatalf("budget %d: exit diverged: blocks %v slow %v (pc %#x vs %#x)",
+					budget, exB, exS, blocks.PC, slow.PC)
+			}
+			compareCPUs(t, "quantum", blocks, slow)
+			if t.Failed() {
+				t.Fatalf("diverged at budget %d", budget)
+			}
+			if exB.Reason == ExitHalt {
+				break
+			}
+		}
+	}
+}
+
+// TestSuperblockStimecmpFallback: the STIP latch must set at exactly the
+// same instruction boundary with blocks on or off, for every placement of
+// STIMECMP inside the run — including mid-block, where dispatch must fall
+// back. With the timer interrupt enabled the trap must also vector at the
+// identical point.
+func TestSuperblockStimecmpFallback(t *testing.T) {
+	// Handler at 0x2000: rearm stimecmp far away, record entry, sret.
+	b := asm.NewBuilder(0x2000)
+	b.I(isa.OpADDI, isa.RegA7, isa.RegA7, 1) // count timer traps
+	b.Li(isa.RegT2, 1<<40)
+	b.Csrw(isa.CSRStimecmp, isa.RegT2)
+	b.Sret()
+	handler, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := straightLineImg(t, 100)
+	for _, enableIRQ := range []bool{false, true} {
+		for cmp := uint64(1); cmp < 140; cmp += 7 {
+			tweak := func(c *CPU) {
+				if f := c.Mem.Write(0x2000, handler); f != nil {
+					t.Fatal(f)
+				}
+				c.CSR.Stvec = 0x2000
+				c.CSR.Stimecmp = cmp
+				if enableIRQ {
+					c.CSR.Sie = 1 << isa.IntTimer
+					c.CSR.Sstatus = isa.StatusSIE
+				}
+			}
+			blocks, slow := newCPUPairSB(t, img, tweak)
+			for {
+				exB := blocks.Run(1_000_000)
+				exS := slow.Run(1_000_000)
+				if exB.Reason != exS.Reason {
+					t.Fatalf("irq=%v cmp %d: exit diverged: %v vs %v", enableIRQ, cmp, exB, exS)
+				}
+				compareCPUs(t, "stimecmp", blocks, slow)
+				if t.Failed() {
+					t.Fatalf("diverged at irq=%v cmp=%d", enableIRQ, cmp)
+				}
+				if exB.Reason == ExitHalt {
+					break
+				}
+			}
+			if enableIRQ && blocks.X[isa.RegA7] == 0 {
+				t.Fatalf("cmp %d: timer trap never delivered", cmp)
+			}
+		}
+	}
+}
+
+// TestSuperblockInterruptWindowFallback: a deprivileged vCPU with an
+// interrupt becoming deliverable partway through a straight-line run must
+// exit with ExitIntrWindow at exactly the same instruction with blocks on or
+// off. The IRQ is raised between Run calls (as the VMM does), with small
+// quanta so re-entry points land mid-run.
+func TestSuperblockInterruptWindowFallback(t *testing.T) {
+	img := straightLineImg(t, 100)
+	for raiseAt := uint64(10); raiseAt < 150; raiseAt += 13 {
+		tweak := func(c *CPU) {
+			c.Deprivileged = true
+			c.CSR.Sie = 1 << isa.IntExt
+			c.CSR.Sstatus = isa.StatusSIE
+		}
+		blocks, slow := newCPUPairSB(t, img, tweak)
+		raised := false
+		for {
+			budget := uint64(25)
+			exB := blocks.Run(budget)
+			exS := slow.Run(budget)
+			if exB.Reason != exS.Reason {
+				t.Fatalf("raiseAt %d: exit diverged: %v vs %v (pc %#x vs %#x)",
+					raiseAt, exB, exS, blocks.PC, slow.PC)
+			}
+			compareCPUs(t, "intr-window", blocks, slow)
+			if t.Failed() {
+				t.Fatalf("diverged at raiseAt=%d", raiseAt)
+			}
+			switch exB.Reason {
+			case ExitHalt:
+				if !raised {
+					t.Fatalf("raiseAt %d: halted before the IRQ was raised", raiseAt)
+				}
+				return
+			case ExitIntrWindow:
+				// Both exited the window at the same point; deliver and go on.
+				blocks.InjectTrap(isa.CauseInterrupt|isa.IntExt, 0)
+				slow.InjectTrap(isa.CauseInterrupt|isa.IntExt, 0)
+				blocks.ClearIRQ(isa.IntExt)
+				slow.ClearIRQ(isa.IntExt)
+				// Return from the "handler" immediately: there is no guest
+				// handler mapped at stvec 0, so just unwind via SRET state.
+				blocks.ExecuteSRET()
+				slow.ExecuteSRET()
+			}
+			if !raised && blocks.Cycles >= raiseAt {
+				blocks.RaiseIRQ(isa.IntExt)
+				slow.RaiseIRQ(isa.IntExt)
+				raised = true
+			}
+		}
+	}
+}
+
+// TestSuperblockSelfModifyingCode: a store into the executing superblock
+// must end the block and re-predecode, keeping block execution byte-
+// identical with the per-instruction path (which notices on the very next
+// fetch).
+func TestSuperblockSelfModifyingCode(t *testing.T) {
+	blocks, slow := newCPUPairSB(t, smcProgram(), nil)
+	exB, exS := blocks.Run(1_000_000), slow.Run(1_000_000)
+	if exB.Reason != ExitHalt || exS.Reason != ExitHalt {
+		t.Fatalf("exits: blocks %v slow %v", exB, exS)
+	}
+	if blocks.X[isa.RegA0] != 111 {
+		t.Fatalf("blocks a0 = %d, want 111 (stale superblock?)", blocks.X[isa.RegA0])
+	}
+	compareCPUs(t, "smc", blocks, slow)
+}
+
+// TestSuperblockLoweringShapes pins the lowering pass: run lengths and
+// memory-op counts are suffix sums that stop at terminators and the page
+// boundary.
+func TestSuperblockLoweringShapes(t *testing.T) {
+	g := mem.NewGuestPhys(mem.NewPool(8), 4*isa.PageSize)
+	if err := g.PopulateAll(); err != nil {
+		t.Fatal(err)
+	}
+	img := words(
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 1}, // 0: run of 4
+		isa.Inst{Op: isa.OpLD, Rd: isa.RegT0, Rs1: isa.RegS0},           // 1: mem
+		isa.Inst{Op: isa.OpSD, Rs2: isa.RegT0, Rs1: isa.RegS0, Imm: 8},  // 2: mem
+		isa.Inst{Op: isa.OpADD, Rd: isa.RegA1, Rs1: isa.RegA0},          // 3
+		isa.Inst{Op: isa.OpBEQ, Rs1: isa.RegZero, Rs2: isa.RegZero},     // 4: terminator
+		isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 1}, // 5: run of 1
+		isa.Inst{Op: isa.OpJAL, Rd: isa.RegZero},                        // 6: terminator
+	)
+	if f := g.Write(0, img); f != nil {
+		t.Fatal(f)
+	}
+	ic := NewICache()
+	ic.fill(g, 0)
+	p := ic.pages[0]
+	wantLen := []uint16{4, 3, 2, 1, 0, 1, 0}
+	wantMem := []uint16{2, 2, 1, 0, 0, 0, 0}
+	for i, w := range wantLen {
+		if p.blkLen[i] != w {
+			t.Errorf("blkLen[%d] = %d, want %d", i, p.blkLen[i], w)
+		}
+		if p.blkMem[i] != wantMem[i] {
+			t.Errorf("blkMem[%d] = %d, want %d", i, p.blkMem[i], wantMem[i])
+		}
+	}
+	// The rest of the page is zeroed: OpIllegal, all terminators.
+	for i := len(wantLen); i < instPerPage; i++ {
+		if p.blkLen[i] != 0 {
+			t.Fatalf("blkLen[%d] = %d for zeroed slot", i, p.blkLen[i])
+		}
+	}
+	// Page-boundary cap: a page ending in straight-line ops must not run
+	// past the last slot.
+	var full []isa.Inst
+	for i := 0; i < instPerPage; i++ {
+		full = append(full, isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 1})
+	}
+	if f := g.Write(isa.PageSize, words(full...)); f != nil {
+		t.Fatal(f)
+	}
+	ic.fill(g, 1)
+	p1 := ic.pages[1]
+	if p1.blkLen[0] != instPerPage || p1.blkLen[instPerPage-1] != 1 {
+		t.Errorf("page-spanning run mislowered: blkLen[0]=%d blkLen[last]=%d",
+			p1.blkLen[0], p1.blkLen[instPerPage-1])
+	}
+}
