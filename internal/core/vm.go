@@ -130,6 +130,12 @@ type Config struct {
 	// same invisibility contract, same reason to exist. NoICache implies
 	// no superblocks (blocks live in predecoded pages).
 	NoSuperblocks bool
+	// NoThreadedDispatch pins the vCPU to the original dispatch switch
+	// instead of the decode-time-resolved executor table — same
+	// invisibility contract as the icache and superblocks; the switch arm
+	// exists for the differential transparency tests and dispatch
+	// benchmarking.
+	NoThreadedDispatch bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -249,6 +255,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 		cpu.ICache = vcpu.NewICache()
 	}
 	cpu.NoSuperblocks = cfg.NoSuperblocks
+	cpu.NoThreadedDispatch = cfg.NoThreadedDispatch
 
 	vm := &VM{
 		Name:        cfg.Name,

@@ -1,0 +1,42 @@
+package isa
+
+// Threaded-dispatch support. The interpreter's hot loop resolves every
+// opcode to an executor function once, at decode/predecode time, and then
+// calls the resolved func pointer per retired instruction instead of
+// re-inspecting the opcode in a switch. The executor func type is
+// interpreter-specific (it closes over the machine state), so the table is
+// generic in it; the table *type* lives here, next to the opcode space it
+// must stay total over, and the completeness contract — every Valid opcode
+// resolves to a non-zero executor — is enforced by FuzzDecode and the
+// interpreter's table test through Unresolved.
+
+// ExecTable maps every defined opcode to an executor value of type F. It is
+// indexed by Op, sized exactly to the defined opcode space, and meant to be
+// built once as a package-level indexed composite literal (mirroring
+// opNames) so adding an opcode without an executor is caught by the
+// completeness check, not by a nil call at run time.
+type ExecTable[F any] [NumOps]F
+
+// For returns the executor resolved for op — the decode-time lookup.
+// Invalid and out-of-range opcodes (Decode passes any 6-bit value through)
+// resolve to the zero F, never a panic, so resolution can run before the
+// Op.Valid check on the fetch path.
+func (t *ExecTable[F]) For(op Op) F {
+	if !op.Valid() {
+		var zero F
+		return zero
+	}
+	return t[op]
+}
+
+// Unresolved returns every valid opcode whose table entry is unset. Func
+// types are not comparable, so the caller supplies the zero test.
+func (t *ExecTable[F]) Unresolved(isZero func(F) bool) []Op {
+	var missing []Op
+	for op := OpIllegal + 1; op < opMax; op++ {
+		if isZero(t[op]) {
+			missing = append(missing, op)
+		}
+	}
+	return missing
+}

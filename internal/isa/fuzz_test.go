@@ -1,35 +1,53 @@
-package isa
+package isa_test
 
-import "testing"
+import (
+	"testing"
+
+	"govisor/internal/isa"
+	"govisor/internal/vcpu"
+)
 
 // FuzzDecode: Decode must be total — any 32-bit word either decodes to a
 // valid instruction or to one failing Op.Valid(), never panics — and for
 // valid instructions Encode∘Decode must be the identity on the decoded form
 // (re-encoding then re-decoding reproduces the same Inst), so the assembler,
 // the interpreter and the decoded-instruction cache all agree on every word.
+// Every successfully decoded instruction must additionally resolve a non-nil
+// executor in the threaded-dispatch table (the external test package exists
+// to reach vcpu for this), so table/switch completeness can never drift as
+// opcodes are added.
 func FuzzDecode(f *testing.F) {
 	// Seed with one instruction of every format, plus boundary patterns.
-	f.Add(Encode(Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}))
-	f.Add(Encode(Inst{Op: OpADDI, Rd: 5, Rs1: 6, Imm: -42}))
-	f.Add(Encode(Inst{Op: OpBEQ, Rs1: 7, Rs2: 8, Imm: 16}))
-	f.Add(Encode(Inst{Op: OpJAL, Rd: 1, Imm: -2048}))
-	f.Add(Encode(Inst{Op: OpECALL}))
-	f.Add(Encode(Inst{Op: OpCSRRW, Rd: 9, Rs1: 10, Imm: int32(CSRSatp)}))
-	f.Add(Encode(Inst{Op: OpHALT, Imm: 7}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: 5, Rs1: 6, Imm: -42}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpBEQ, Rs1: 7, Rs2: 8, Imm: 16}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpJAL, Rd: 1, Imm: -2048}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpECALL}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpCSRRW, Rd: 9, Rs1: 10, Imm: int32(isa.CSRSatp)}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpHALT, Imm: 7}))
 	f.Add(uint32(0))
 	f.Add(^uint32(0))
 	f.Add(uint32(0xDEADBEEF))
 	f.Fuzz(func(t *testing.T, w uint32) {
-		in := Decode(w)
+		in := isa.Decode(w)
 		if !in.Op.Valid() {
+			if vcpu.ExecutorResolved(in.Op) {
+				t.Fatalf("word %#x: invalid op %v resolves an executor", w, in.Op)
+			}
 			return
 		}
 		// Disasm must be total on valid instructions.
-		if Disasm(in) == "" {
+		if isa.Disasm(in) == "" {
 			t.Fatalf("word %#x: empty disassembly for %+v", w, in)
 		}
-		re := Encode(in)
-		back := Decode(re)
+		// Threaded dispatch must be total on valid instructions too: decode-
+		// time executor resolution may never come up empty for a word the
+		// interpreter would execute.
+		if !vcpu.ExecutorResolved(in.Op) {
+			t.Fatalf("word %#x: %s decodes but resolves no threaded-dispatch executor", w, isa.Disasm(in))
+		}
+		re := isa.Encode(in)
+		back := isa.Decode(re)
 		if back != in {
 			t.Fatalf("word %#x: decode %+v re-encodes to %#x which decodes to %+v", w, in, re, back)
 		}

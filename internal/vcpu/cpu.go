@@ -60,9 +60,18 @@ type CPU struct {
 	// and for isolating their host-side speedup in benchmarks.
 	NoSuperblocks bool
 
-	// blockExit carries the rare Exit out of the superblock executors so the
-	// per-instruction status stays a small int (see superblock.go).
-	blockExit Exit
+	// NoThreadedDispatch pins instruction execution to the original
+	// `switch in.Op` interpreter (execute, below) instead of the decode-
+	// time-resolved executor table (dispatch.go). Threaded dispatch is
+	// architecturally invisible like the ICache and superblocks; the switch
+	// arm exists as the differential reference for the transparency tests
+	// and for isolating the dispatch win in benchmarks.
+	NoThreadedDispatch bool
+
+	// pendExit carries the rare Exit out of the threaded executors and the
+	// superblock engine so the per-instruction status stays a small int
+	// (see dispatch.go).
+	pendExit Exit
 
 	Stats Stats
 }
@@ -226,6 +235,7 @@ func (c *CPU) Run(budget uint64) Exit {
 		}
 		var in isa.Inst
 		var raw uint32
+		var fn execFn
 		if ic := c.ICache; ic != nil {
 			gpa, ex, ok := c.fetchTranslate(c.PC)
 			if !ok {
@@ -252,12 +262,15 @@ func (c *CPU) Run(budget uint64) Exit {
 				}
 				// Lazy slot decode, spelled out here because the compiler
 				// will not inline it as a method and this is the hottest
-				// line in the simulator.
+				// line in the simulator. The threaded executor is resolved
+				// once, here, so steady-state fetches load a direct func
+				// pointer instead of re-inspecting the opcode.
 				if p.valid[i>>6]&(1<<(i&63)) == 0 {
 					p.ins[i] = isa.Decode(p.raw[i])
+					p.fn[i] = execTable.For(p.ins[i].Op)
 					p.valid[i>>6] |= 1 << (i & 63)
 				}
-				in, raw = p.ins[i], p.raw[i]
+				in, raw, fn = p.ins[i], p.raw[i], p.fn[i]
 			} else {
 				word, e, st := c.fetchWord(gpa)
 				if st == fetchExit {
@@ -268,6 +281,7 @@ func (c *CPU) Run(budget uint64) Exit {
 				}
 				raw = uint32(word)
 				in = isa.Decode(raw)
+				fn = execTable.For(in.Op)
 				ic.fill(c.Mem, gpa>>isa.PageShift)
 			}
 		} else {
@@ -287,6 +301,7 @@ func (c *CPU) Run(budget uint64) Exit {
 			}
 			raw = uint32(word)
 			in = isa.Decode(raw)
+			fn = execTable.For(in.Op)
 		}
 		if !in.Op.Valid() {
 			if e, exited := c.guestTrap(isa.CauseIllegal, uint64(raw)); exited {
@@ -296,8 +311,15 @@ func (c *CPU) Run(budget uint64) Exit {
 		}
 		c.Cycles += c.Costs.Instr
 		c.Instret++
-		if ex, done := c.execute(in, raw); done {
-			return ex
+		if fn == nil || c.NoThreadedDispatch {
+			// Reference arm: the original dispatch switch. (fn is never nil
+			// for a valid opcode — the table is total, see FuzzDecode — but
+			// falling back keeps the nil case safe by construction.)
+			if ex, done := c.execute(in, raw); done {
+				return ex
+			}
+		} else if fn(c, in, raw) == stExit {
+			return c.pendExit
 		}
 	}
 }

@@ -11,7 +11,7 @@ import (
 // instPerPage is how many 32-bit instruction slots one guest page holds.
 const instPerPage = isa.PageSize / 4
 
-// maxCachedPages bounds the cache's host memory (~20 KiB per page). Guests
+// maxCachedPages bounds the cache's host memory (~28 KiB per page). Guests
 // execute from a handful of pages, so the bound only matters for pathological
 // code that jumps through all of RAM; hitting it evicts the least recently
 // fetched page and predecode refills on demand.
@@ -22,7 +22,9 @@ const maxCachedPages = 1024
 // on first fetch (the valid bitmap tracks which), so a refill after
 // invalidation costs one page copy rather than a thousand decodes — a guest
 // that keeps storing to a page it executes from degrades gracefully instead
-// of falling off a predecode cliff.
+// of falling off a predecode cliff. The lazy decode also resolves the
+// slot's threaded-dispatch executor (fn[i], see dispatch.go), so steady-
+// state execution calls a direct func pointer per instruction.
 //
 // Fill also lowers the page into superblocks: blkLen[i] is the number of
 // straight-line instructions (isa.IsBlockStraight) starting at slot i before
@@ -37,6 +39,7 @@ type decodedPage struct {
 	lastUse uint64 // ICache tick at fill / last transition to MRU, for eviction
 	valid   [instPerPage / 64]uint64
 	ins     [instPerPage]isa.Inst
+	fn      [instPerPage]execFn
 	raw     [instPerPage]uint32
 	blkLen  [instPerPage]uint16
 	blkMem  [instPerPage]uint16

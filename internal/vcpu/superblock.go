@@ -2,8 +2,6 @@ package vcpu
 
 import (
 	"govisor/internal/isa"
-	"govisor/internal/mem"
-	"govisor/internal/mmu"
 )
 
 // Superblock execution: straight-line runs of predecoded instructions
@@ -35,6 +33,13 @@ import (
 //     stamp and hit counter — identical to what TranslateFetch would do),
 //     and cycle/instret accounting is batched into one addition per block,
 //     which is exact because nothing inside a block reads the clock.
+//
+// In-block instructions run on the threaded executors (dispatch.go): the
+// slot's decode-time-resolved func pointer for ALU ops and loads, and
+// blockStore for stores (same storeExec body, plus the self-modifying-code
+// check only blocks need). Under CPU.NoThreadedDispatch the block body
+// instead routes through blockLoad/blockStore and the execute switch — the
+// differential reference arm.
 
 // runBlock executes the superblock starting at slot idx of predecoded page p
 // (whose guest-physical page is gfn), assuming the caller already performed
@@ -60,12 +65,14 @@ func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done
 	}
 
 	instr := c.Costs.Instr
+	threaded := !c.NoThreadedDispatch
 	var retired uint64
 loop:
 	for retired < n {
 		j := idx + retired
 		if p.valid[j>>6]&(1<<(j&63)) == 0 {
 			p.ins[j] = isa.Decode(p.raw[j])
+			p.fn[j] = execTable.For(p.ins[j].Op)
 			p.valid[j>>6] |= 1 << (j & 63)
 		}
 		in := p.ins[j]
@@ -73,38 +80,46 @@ loop:
 			break // TLB insert/flush under the fetch stream: resume slow
 		}
 		retired++
-		// Loads and stores run on block-specialized executors: identical
-		// guest-visible semantics to execLoad/execStore (the differential
-		// suite holds the two in lockstep), but status is a small int and
-		// the rare Exit goes through c.blockExit, keeping the large Exit
-		// struct out of the per-instruction return path.
+		// Statuses stay small ints and the rare Exit goes through
+		// c.pendExit, keeping the large Exit struct out of the
+		// per-instruction return path.
 		var st int
-		switch {
-		case isa.IsLoad(in.Op):
-			st = c.blockLoad(in)
-		case isa.IsStore(in.Op):
-			st = c.blockStore(in, gfn)
-		default:
-			pcNext := c.PC + 4
-			ex, d := c.execute(in, p.raw[j])
-			if d {
-				c.Cycles += retired * instr
-				c.Instret += retired
-				return ex, true, true
-			}
-			if c.PC == pcNext {
-				st = bOK
+		if threaded {
+			// Block-specialized execution: the decode-time-resolved
+			// executor for ALU ops and loads; stores add the SMC check.
+			if isa.IsStore(in.Op) {
+				st = c.blockStore(in, gfn)
 			} else {
-				st = bTrap
+				st = p.fn[j](c, in, p.raw[j])
+			}
+		} else {
+			switch {
+			case isa.IsLoad(in.Op):
+				st = c.blockLoad(in)
+			case isa.IsStore(in.Op):
+				st = c.blockStore(in, gfn)
+			default:
+				pcNext := c.PC + 4
+				ex, d := c.execute(in, p.raw[j])
+				if d {
+					c.Cycles += retired * instr
+					c.Instret += retired
+					return ex, true, true
+				}
+				if c.PC == pcNext {
+					st = stOK
+				} else {
+					st = stTrap
+				}
 			}
 		}
 		switch st {
-		case bOK:
-		case bExit:
+		case stOK:
+		case stExit:
 			c.Cycles += retired * instr
 			c.Instret += retired
-			return c.blockExit, true, true
-		default: // bTrap: control redirected; bSMC: the block wrote itself
+			return c.pendExit, true, true
+		default: // stTrap: control redirected; stSMC: the block wrote itself
 			break loop
 		}
 	}
@@ -113,117 +128,22 @@ loop:
 	return Exit{}, false, true
 }
 
-// Block executor statuses.
-const (
-	bOK   = iota // retired; continue the block
-	bTrap        // a guest trap redirected control in place; end the block
-	bExit        // Run must return c.blockExit
-	bSMC         // retired, but the store hit the executing code page
-)
-
-// blockGuestTrap delivers a guest trap from inside a block.
-func (c *CPU) blockGuestTrap(cause, tval uint64) int {
-	if e, exited := c.guestTrap(cause, tval); exited {
-		c.blockExit = e
-		return bExit
-	}
-	return bTrap
-}
-
-// blockTranslateFault is translateFault with block-status results.
-func (c *CPU) blockTranslateFault(va uint64, acc isa.Access, fault *mmu.Fault) int {
-	switch fault.Kind {
-	case mmu.FaultGuest:
-		return c.blockGuestTrap(fault.Cause, va)
-	case mmu.FaultShadowMiss:
-		c.blockExit = c.vmExit(Exit{Reason: ExitShadowMiss, VA: va, Access: acc})
-		return bExit
-	default: // mmu.FaultHost
-		c.blockExit = c.vmExit(Exit{Reason: ExitHostFault, VA: va, Access: acc, Mem: fault.Mem})
-		return bExit
-	}
-}
-
-// blockLoad is execLoad for the block path. Semantics, cycle charges, fault
-// taxonomy and statistics are identical — any change here must land in
-// execLoad too (and vice versa); the superblock differential tests enforce
-// the lockstep.
+// blockLoad is the load entry for the reference (switch-dispatch) block arm:
+// the shared loadExec body behind the loadMeta width switch the threaded
+// executors resolve at decode time instead.
 func (c *CPU) blockLoad(in isa.Inst) int {
 	size, signed := loadMeta(in.Op)
-	va := c.X[in.Rs1] + uint64(int64(in.Imm))
-	if va&uint64(size-1) != 0 {
-		return c.blockGuestTrap(isa.CauseLoadMisaligned, va)
-	}
-	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccRead, c.Priv == PrivU)
-	c.Cycles += uint64(refs) * c.Costs.PTRef
-	if fault != nil {
-		return c.blockTranslateFault(va, isa.AccRead, fault)
-	}
-	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
-		c.PC += 4
-		c.blockExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
-			GPA: gpa, Size: uint8(size), Rd: in.Rd, Signed: signed,
-		}})
-		return bExit
-	}
-	c.Cycles += c.Costs.MemAccess
-	v, f := c.Mem.ReadUint(gpa, size)
-	if f != nil {
-		if f.Kind == mem.FaultBeyondRAM {
-			return c.blockGuestTrap(isa.CauseLoadAccess, va)
-		}
-		c.blockExit = c.memFaultExit(va, isa.AccRead, f)
-		return bExit
-	}
-	if signed {
-		switch size {
-		case 1:
-			v = uint64(int64(int8(v)))
-		case 2:
-			v = uint64(int64(int16(v)))
-		case 4:
-			v = uint64(int64(int32(v)))
-		}
-	}
-	c.SetReg(in.Rd, v)
-	c.PC += 4
-	return bOK
+	return c.loadExec(in, size, signed)
 }
 
-// blockStore is execStore for the block path (same lockstep contract as
-// blockLoad). codeGfn is the executing page: a store landing there is
-// self-modifying code, which the per-instruction path would observe on the
-// very next fetch, so the block ends after the store retires.
+// blockStore runs a store inside a block. codeGfn is the executing page: a
+// store landing there is self-modifying code, which the per-instruction path
+// would observe on the very next fetch, so the block ends after the store
+// retires.
 func (c *CPU) blockStore(in isa.Inst, codeGfn uint64) int {
-	size := storeSize(in.Op)
-	va := c.X[in.Rs1] + uint64(int64(in.Imm))
-	val := c.X[in.Rs2]
-	if va&uint64(size-1) != 0 {
-		return c.blockGuestTrap(isa.CauseStoreMisaligned, va)
+	st, gpa := c.storeExec(in, storeSize(in.Op))
+	if st == stOK && gpa>>isa.PageShift == codeGfn {
+		return stSMC
 	}
-	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccWrite, c.Priv == PrivU)
-	c.Cycles += uint64(refs) * c.Costs.PTRef
-	if fault != nil {
-		return c.blockTranslateFault(va, isa.AccWrite, fault)
-	}
-	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
-		c.PC += 4
-		c.blockExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
-			GPA: gpa, Size: uint8(size), Write: true, Value: val,
-		}})
-		return bExit
-	}
-	c.Cycles += c.Costs.MemAccess
-	if f := c.Mem.WriteUint(gpa, size, val); f != nil {
-		if f.Kind == mem.FaultBeyondRAM {
-			return c.blockGuestTrap(isa.CauseStoreAccess, va)
-		}
-		c.blockExit = c.memFaultExit(va, isa.AccWrite, f)
-		return bExit
-	}
-	c.PC += 4
-	if gpa>>isa.PageShift == codeGfn {
-		return bSMC
-	}
-	return bOK
+	return st
 }
