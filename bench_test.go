@@ -68,6 +68,7 @@ func BenchmarkM1_ICache(b *testing.B)         { runExperiment(b, "M1") }
 func BenchmarkM2_ParallelFleet(b *testing.B)  { runExperiment(b, "M2") }
 func BenchmarkM3_Superblocks(b *testing.B)    { runExperiment(b, "M3") }
 func BenchmarkM4_Dispatch(b *testing.B)       { runExperiment(b, "M4") }
+func BenchmarkM5_WriteMemo(b *testing.B)      { runExperiment(b, "M5") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

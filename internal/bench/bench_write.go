@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"govisor/internal/core"
+	"govisor/internal/guest"
+	"govisor/internal/metrics"
+)
+
+// M5WriteMemo: host-side interpreter throughput with the write-path
+// memoization engine (mmu.TranslateWrite + mem.WriteUintFast with coalesced
+// version bumps, plus the read-memo RAM-verdict fold on loads) vs the
+// unmemoized store path, on store-dense and mixed stream guests. The icache,
+// superblocks and threaded dispatch stay on in both arms, so the comparison
+// isolates the write memo on top of PR 4's baseline. Like M1/M3/M4 this is a
+// microbenchmark of the simulator, not the simulated machine: guest cycles,
+// retired instructions and dirty accounting must be byte-identical in both
+// configurations — enforced below, and proven in full by
+// TestDifferentialWriteMemo{Invisible,Parallel} — while host nanoseconds per
+// guest instruction drop. Only the RunToHalt phase is timed, after a warm-up
+// run per configuration.
+func M5WriteMemo() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{
+		"mode", "workload", "config", "guest instrs", "guest cycles", "host ns/instr", "speedup", "memo",
+	}}
+
+	type stream struct {
+		kind   guest.StreamKind
+		iters  uint64
+		unroll uint64
+	}
+	streams := []stream{
+		{guest.StreamStore, scaled(20000), 512},
+		{guest.StreamMixed, scaled(20000), 512},
+	}
+
+	for _, mode := range []core.Mode{core.ModeNative, core.ModeHW} {
+		for _, s := range streams {
+			img, err := guest.BuildStreamProgram(s.kind, s.iters, s.unroll)
+			if err != nil {
+				return nil, err
+			}
+			type result struct {
+				vm     *core.VM
+				hostNs float64
+			}
+			run := func(noMemo bool) (result, error) {
+				vm, err := newVM(mode, func(c *core.Config) { c.NoWriteMemo = noMemo })
+				if err != nil {
+					return result{}, err
+				}
+				if err := vm.Boot(img); err != nil {
+					return result{}, err
+				}
+				start := time.Now()
+				st := vm.RunToHalt(benchBudget)
+				elapsed := float64(time.Since(start).Nanoseconds())
+				if st != core.StateHalted || vm.HaltCode != 0 {
+					return result{}, fmt.Errorf("bench: M5 %v/%v guest ended %v halt %#x",
+						mode, s.kind, st, vm.HaltCode)
+				}
+				return result{vm, elapsed}, nil
+			}
+			// Warm both configurations before measuring.
+			for _, warm := range []bool{true, false} {
+				if _, err := run(warm); err != nil {
+					return nil, err
+				}
+			}
+			off, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			on, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			// The transparency property, enforced at benchmark time: time,
+			// retirement and the guest-visible dirty accounting must agree.
+			if on.vm.CPU.Cycles != off.vm.CPU.Cycles || on.vm.CPU.Instret != off.vm.CPU.Instret ||
+				on.vm.Mem.DirtySets != off.vm.Mem.DirtySets {
+				return nil, fmt.Errorf("bench: write memo is not invisible: memo (cyc=%d ret=%d dirty=%d) plain (cyc=%d ret=%d dirty=%d)",
+					on.vm.CPU.Cycles, on.vm.CPU.Instret, on.vm.Mem.DirtySets,
+					off.vm.CPU.Cycles, off.vm.CPU.Instret, off.vm.Mem.DirtySets)
+			}
+			if on.vm.Mem.WMemoHits == 0 {
+				return nil, fmt.Errorf("bench: M5 %v/%v memo arm never hit the write memo", mode, s.kind)
+			}
+			instrs := float64(on.vm.CPU.Instret)
+			nsOff := off.hostNs / instrs
+			nsOn := on.hostNs / instrs
+			t.AddRow(mode.String(), s.kind.String(), "resolve", fmt.Sprintf("%.0f", instrs),
+				fmt.Sprint(off.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOff), "1.00x", "-")
+			t.AddRow(mode.String(), s.kind.String(), "write-memo", fmt.Sprintf("%.0f", instrs),
+				fmt.Sprint(on.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOn),
+				fmt.Sprintf("%.2fx", nsOff/nsOn), WriteMemoCounters(on.vm).String())
+		}
+	}
+	return t, nil
+}
+
+// WriteMemoCounters exposes one VM's write-memo telemetry in the counter-set
+// form the benchmark tables and EXPERIMENTS.md consume.
+func WriteMemoCounters(vm *core.VM) *metrics.CounterSet {
+	s := &metrics.CounterSet{}
+	s.Add("wmemo_hits", vm.Mem.WMemoHits)
+	s.Add("wmemo_fills", vm.Mem.WMemoFills)
+	s.Add("write_epoch_bumps", vm.Mem.WriteEpoch())
+	return s
+}

@@ -59,5 +59,7 @@ func All() []Experiment {
 			"≥1.5× lower host ns/guest-instr on straight-line workloads with identical guest cycles (blocks are architecturally invisible)"},
 		{"M4", "Simulator: threaded dispatch engine", M4Dispatch,
 			"≥1.2× lower host ns/guest-instr on the ALU stream vs the dispatch switch with identical guest cycles (decode-time executor resolution is architecturally invisible)"},
+		{"M5", "Simulator: write-path memoization engine", M5WriteMemo,
+			"≥1.5× lower host ns/guest-instr on the store-dense stream vs per-store resolution with identical guest cycles and dirty accounting (the write memo is architecturally invisible)"},
 	}
 }

@@ -136,6 +136,12 @@ type Config struct {
 	// exists for the differential transparency tests and dispatch
 	// benchmarking.
 	NoThreadedDispatch bool
+	// NoWriteMemo pins the vCPU's store path to the unmemoized reference
+	// arm (per-store translation, range checks and version bumps) instead
+	// of the write-path memo stack — same invisibility contract; the arm
+	// exists for the differential transparency tests and the M5 write-memo
+	// benchmark.
+	NoWriteMemo bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -256,6 +262,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 	}
 	cpu.NoSuperblocks = cfg.NoSuperblocks
 	cpu.NoThreadedDispatch = cfg.NoThreadedDispatch
+	cpu.NoWriteMemo = cfg.NoWriteMemo
 
 	vm := &VM{
 		Name:        cfg.Name,

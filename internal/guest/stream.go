@@ -24,12 +24,25 @@ const (
 	// StreamCopy is a memory copy: unrolled load/store pairs walking a
 	// source and a destination buffer within a page each iteration.
 	StreamCopy
+	// StreamStore is store-dense code: an unrolled run of stores walking
+	// two destination pages, the M5 write-memo target shape (every retired
+	// op pays the store-resolution cost).
+	StreamStore
+	// StreamMixed interleaves loads, ALU ops and stores in a fixed 1:1:2
+	// pattern — the balance of a data-churning loop, exercising the read
+	// and write fast paths together.
+	StreamMixed
 )
 
 // String names the kind.
 func (k StreamKind) String() string {
-	if k == StreamCopy {
+	switch k {
+	case StreamCopy:
 		return "copy-stream"
+	case StreamStore:
+		return "store-stream"
+	case StreamMixed:
+		return "mixed-stream"
 	}
 	return "alu-stream"
 }
@@ -70,6 +83,32 @@ func BuildStreamProgram(kind StreamKind, iters, unroll uint64) ([]byte, error) {
 		}
 		if unroll%2 != 0 {
 			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+	case StreamStore:
+		// Pure stores alternating between two destination pages; offsets
+		// walk within each page so every byte lands somewhere distinct.
+		for i := uint64(0); i < unroll; i++ {
+			off := int64((i / 2) * 8 % isa.PageSize)
+			base := uint8(isa.RegS1)
+			if i%2 != 0 {
+				base = isa.RegS2
+			}
+			b.Store(isa.OpSD, isa.RegA0, base, off)
+		}
+	case StreamMixed:
+		// 1 load : 1 ALU : 2 stores per 4-op group.
+		for i := uint64(0); i < unroll; i++ {
+			off := int64((i / 4) * 8 % isa.PageSize)
+			switch i % 4 {
+			case 0:
+				b.Load(isa.OpLD, isa.RegT1, isa.RegS1, off)
+			case 1:
+				b.I(isa.OpADDI, isa.RegT1, isa.RegT1, 3)
+			case 2:
+				b.Store(isa.OpSD, isa.RegT1, isa.RegS2, off)
+			default:
+				b.Store(isa.OpSD, isa.RegT1, isa.RegS1, off)
+			}
 		}
 	default:
 		for i := uint64(0); i < unroll; i++ {

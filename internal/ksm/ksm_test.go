@@ -88,6 +88,57 @@ func TestMergedPageSplitsOnWrite(t *testing.T) {
 	}
 }
 
+// TestMergeObservedThroughWriteMemo: a scan merging pages whose owners hold
+// warm write-memo entries must be observed by the memoized store path — the
+// canonical side's COW flip happens in place (no remap, no version bump), so
+// only the write-epoch invalidation stands between a warm memo and
+// scribbling on the shared frame.
+func TestMergeObservedThroughWriteMemo(t *testing.T) {
+	pool := mem.NewPool(64)
+	a := newVMSpace(t, pool, 8)
+	b := newVMSpace(t, pool, 8)
+	fillPage(a, 2, 0x5A)
+	fillPage(b, 2, 0x5A)
+
+	// Warm both sides' memos on the page that is about to merge.
+	for _, g := range []*mem.GuestPhys{a, b} {
+		for i := uint64(0); i < 4; i++ {
+			if f := g.WriteUintMemo(2*isa.PageSize+i*8, 8, 0x5A5A); f != nil {
+				t.Fatal(f)
+			}
+		}
+	}
+	if a.WMemoHits == 0 || b.WMemoHits == 0 {
+		t.Fatal("memo never engaged before the merge — vacuous test")
+	}
+
+	s := NewScanner(pool)
+	s.ScanVM(a)
+	s.ScanVM(b)
+	if s.Stats.PagesMerged == 0 {
+		t.Fatal("scan merged nothing")
+	}
+	if a.Frame(2) != b.Frame(2) {
+		t.Fatal("pages not sharing one frame after merge")
+	}
+
+	// Post-merge stores through the warm memos must COW-split, not leak.
+	if f := a.WriteUintMemo(2*isa.PageSize, 8, 0xA11A); f != nil {
+		t.Fatal(f)
+	}
+	if a.Frame(2) == b.Frame(2) {
+		t.Fatal("store through warm memo did not split the merged frame")
+	}
+	va, _ := a.ReadUint(2*isa.PageSize, 8)
+	vb, _ := b.ReadUint(2*isa.PageSize, 8)
+	if va != 0xA11A {
+		t.Fatalf("writer reads %#x, want 0xA11A", va)
+	}
+	if vb != 0x5A5A {
+		t.Fatalf("sharer reads %#x — the memoized store leaked through the merge", vb)
+	}
+}
+
 func TestZeroPagesMerge(t *testing.T) {
 	pool := mem.NewPool(64)
 	a := newVMSpace(t, pool, 8)

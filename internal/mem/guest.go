@@ -95,10 +95,29 @@ type GuestPhys struct {
 	// bits), so nothing needs replaying on a hit.
 	rmemo [rmemoSlots]readMemo
 
+	// wmemo is the write fast path: a direct-mapped cache of resolveWrite
+	// verdicts. A valid entry proves the page is present, not write-
+	// protected, not copy-on-write, and already dirty, so a memoized store
+	// skips every per-store bitmap test and writes the cached backing array
+	// directly. Validity is guarded by wepoch, the write-epoch counter:
+	// every event that can change a write verdict — CollectDirty clearing
+	// dirty bits, write-protect flips, COW creation (dedup merges, clone
+	// sharing) and breaks, map/unmap/populate remaps, migration restores —
+	// bumps the epoch and thereby invalidates every entry at once. See
+	// WriteUintMemo for the per-store version-bump coalescing the memo
+	// layers on top.
+	wmemo  [wmemoSlots]writeMemo
+	wepoch uint64 // write-epoch counter (atomic)
+
 	// Stats visible to experiments.
 	DirtySets   uint64 // writes that newly dirtied a page
 	COWBreaks   uint64
 	DemandFills uint64
+
+	// Host-side write-memo telemetry. Like the icache counters these have
+	// no guest-visible meaning: no simulated statistic may depend on them.
+	WMemoHits  uint64 // stores served by the memoized fast path
+	WMemoFills uint64 // memo entries (re)installed by the slow path
 }
 
 // rmemoSlots is the read fast path's direct-mapped size; straight-line
@@ -112,6 +131,29 @@ type readMemo struct {
 	gfn  uint64
 	ver  uint64
 	data []byte
+}
+
+// wmemoSlots is the write fast path's direct-mapped size, matching the read
+// memo: store bursts stream a handful of destination pages.
+const wmemoSlots = 8
+
+// writeMemo caches one resolved writable page. gfn is NoFrame while the slot
+// is empty and is accessed atomically: a concurrent version observer
+// (PageVersion on another goroutine) reads it to find the slot's page, while
+// only the owning VM's goroutine fills it. epoch is the space's write epoch
+// at fill time — the entry is valid only while they still match. armed is
+// the version-coalescing state (atomic): 1 means a version bump covering
+// every memoized store since the last observation of the page's version is
+// already in place, so further memoized stores need not bump again;
+// PageVersion clears it, forcing the next store to bump (and thereby keeps
+// the "same version ⇒ unchanged content between the two observations"
+// contract exact). data is the materialized writable backing array — never
+// nil, because the fill path materializes the frame.
+type writeMemo struct {
+	gfn   uint64 // atomic
+	epoch uint64
+	armed uint32 // atomic
+	data  []byte
 }
 
 // NewGuestPhys creates an address space of size bytes (rounded up to pages)
@@ -134,6 +176,9 @@ func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
 	}
 	for i := range g.rmemo {
 		g.rmemo[i].gfn = NoFrame
+	}
+	for i := range g.wmemo {
+		g.wmemo[i].gfn = NoFrame
 	}
 	return g
 }
@@ -162,9 +207,25 @@ func clearBit(bm []uint64, i uint64) { bm[i/wordsPerBitmap] &^= 1 << (i % wordsP
 // (including its presence) did not change, so derived caches keyed on it stay
 // coherent across self-modifying code, ballooning, dedup remaps, COW breaks
 // and migration page copies without invalidation callbacks.
+//
+// Observing a version ends the page's memoized write burst (the armed flag is
+// cleared), so the next memoized store bumps the version again: the
+// bracketing contract holds exactly — even though stores between two
+// observations share a single bump — for any observation ordered with the
+// owning VM's stores, i.e. on the owning goroutine (the icache's per-fetch
+// validation) or across an epoch barrier (scanners, migration). Both sides
+// of the handshake are atomic, so unordered concurrent calls remain
+// race-free, but they get only that: an observation racing an in-flight
+// memoized store may miss it, so mid-epoch cross-goroutine probes must not
+// rely on the bracketing contract (the single-owner discipline already
+// confines cross-VM services to barriers).
 func (g *GuestPhys) PageVersion(gfn uint64) uint64 {
 	if gfn >= g.npages {
 		return 0
+	}
+	m := &g.wmemo[gfn&(wmemoSlots-1)]
+	if atomic.LoadUint64(&m.gfn) == gfn && atomic.LoadUint32(&m.armed) != 0 {
+		atomic.StoreUint32(&m.armed, 0)
 	}
 	return atomic.LoadUint64(&g.ver[gfn])
 }
@@ -172,6 +233,16 @@ func (g *GuestPhys) PageVersion(gfn uint64) uint64 {
 // bumpVersion invalidates derived caches of gfn's content. Callers guarantee
 // gfn < npages.
 func (g *GuestPhys) bumpVersion(gfn uint64) { atomic.AddUint64(&g.ver[gfn], 1) }
+
+// bumpWriteEpoch invalidates every write-memo entry at once. Called by every
+// event that can change a resolveWrite verdict; entries revalidate by
+// comparing their fill-time epoch.
+func (g *GuestPhys) bumpWriteEpoch() { atomic.AddUint64(&g.wepoch, 1) }
+
+// WriteEpoch returns the current write-epoch counter. Exported for the
+// invalidation tests and for concurrent observers probing stability; like
+// PageVersion it is safe to call from any goroutine.
+func (g *GuestPhys) WriteEpoch() uint64 { return atomic.LoadUint64(&g.wepoch) }
 
 // SetAllocHint sets the preferred pool shard for this space's allocations.
 func (g *GuestPhys) SetAllocHint(h int) { g.hint = h }
@@ -197,6 +268,7 @@ func (g *GuestPhys) Map(gfn, hfn uint64) {
 	}
 	g.hfn[gfn] = hfn
 	g.bumpVersion(gfn)
+	g.bumpWriteEpoch()
 }
 
 // MapShared installs hfn at gfn as a shared, copy-on-write page. The caller
@@ -208,10 +280,14 @@ func (g *GuestPhys) MapShared(gfn, hfn uint64) {
 
 // MarkCOWIfMapped sets the copy-on-write bit on gfn if it still maps hfn.
 // The dedup scanner uses it to flip the canonical side of a merge to COW
-// without racing a concurrent remap.
+// without racing a concurrent remap. The content is unchanged (dedup merges
+// only identical frames) so the page version stands, but the write verdict
+// flips — the canonical owner's next store must break COW, so the write
+// epoch must advance.
 func (g *GuestPhys) MarkCOWIfMapped(gfn, hfn uint64) {
 	if gfn < g.npages && g.hfn[gfn] == hfn {
 		setBit(g.cow, gfn)
+		g.bumpWriteEpoch()
 	}
 }
 
@@ -227,6 +303,7 @@ func (g *GuestPhys) Unmap(gfn uint64) {
 	clearBit(g.cow, gfn)
 	clearBit(g.wprot, gfn)
 	g.bumpVersion(gfn)
+	g.bumpWriteEpoch()
 }
 
 // Populate demand-allocates a zero frame at gfn if unmapped.
@@ -245,6 +322,7 @@ func (g *GuestPhys) Populate(gfn uint64) error {
 	g.present++
 	g.DemandFills++
 	g.bumpVersion(gfn)
+	g.bumpWriteEpoch()
 	return nil
 }
 
@@ -260,7 +338,8 @@ func (g *GuestPhys) PopulateAll() error {
 
 // WriteProtect marks gfn so the next write faults with FaultWriteProt (used
 // by the shadow-paging engine to track guest page-table pages, and by
-// pre-copy migration for dirty logging with page-granularity cost).
+// pre-copy migration for dirty logging with page-granularity cost). Either
+// direction changes the write verdict, so the write epoch advances.
 func (g *GuestPhys) WriteProtect(gfn uint64, on bool) {
 	if gfn >= g.npages {
 		return
@@ -270,6 +349,7 @@ func (g *GuestPhys) WriteProtect(gfn uint64, on bool) {
 	} else {
 		clearBit(g.wprot, gfn)
 	}
+	g.bumpWriteEpoch()
 }
 
 // WriteProtected reports the write-protect bit of gfn.
@@ -317,8 +397,13 @@ func (g *GuestPhys) MarkDirty(gfn uint64) {
 }
 
 // CollectDirty appends all dirty gfns to dst, clears their bits, and returns
-// the extended slice. Migration calls this once per pre-copy round.
+// the extended slice. Migration calls this once per pre-copy round. Clearing
+// dirty bits changes no page content (no version bumps), but it voids the
+// write memo's "already dirty" assumption: the epoch bump forces the next
+// store to every page back through resolveWrite, which re-dirties it — so a
+// post-round store always lands in the next round's dirty set.
 func (g *GuestPhys) CollectDirty(dst []uint64) []uint64 {
+	g.bumpWriteEpoch()
 	for w, word := range g.dirty {
 		for word != 0 {
 			b := word & -word
@@ -368,6 +453,9 @@ func (g *GuestPhys) resolveWrite(gpa uint64) (uint64, *Fault) {
 		clearBit(g.cow, gfn)
 		g.COWBreaks++
 		hfn = nfn
+		// The frame under the gfn changed: any write-memo entry caching the
+		// old backing array is stale.
+		g.bumpWriteEpoch()
 	}
 	if !bit(g.dirty, gfn) {
 		setBit(g.dirty, gfn)
@@ -447,6 +535,21 @@ func (g *GuestPhys) ReadUint(gpa uint64, size int) (uint64, *Fault) {
 	return readUintFrom(data, gpa&isa.PageMask, size), nil
 }
 
+// ReadUintFast is ReadUint's hit-only probe: it serves the value when the
+// read memo covers the page (which also proves the address is inside guest
+// RAM — only successful in-RAM resolutions fill the memo, so callers may
+// skip their Contains/MMIO range checks on a hit) and reports false
+// otherwise, performing nothing. Same exactness argument as the hit path of
+// ReadUint; the caller falls back to the full path on a miss.
+func (g *GuestPhys) ReadUintFast(gpa uint64, size int) (uint64, bool) {
+	gfn := gpa >> isa.PageShift
+	m := &g.rmemo[gfn&(rmemoSlots-1)]
+	if m.gfn == gfn && atomic.LoadUint64(&g.ver[gfn]) == m.ver {
+		return readUintFrom(m.data, gpa&isa.PageMask, size), true
+	}
+	return 0, false
+}
+
 // readUintFrom decodes the value at off from a page slice; nil means the
 // frame is logically zero.
 func readUintFrom(data []byte, off uint64, size int) uint64 {
@@ -466,14 +569,83 @@ func readUintFrom(data []byte, off uint64, size int) uint64 {
 }
 
 // WriteUint writes a naturally aligned size-byte little-endian value.
-// This is the interpreter's hot store path.
+// This is the unmemoized store path: every call resolves the page and bumps
+// its version. Device models, VMM-internal writes and the NoWriteMemo
+// differential arm all use it.
 func (g *GuestPhys) WriteUint(gpa uint64, size int, v uint64) *Fault {
 	hfn, f := g.resolveWrite(gpa)
 	if f != nil {
 		return f
 	}
+	writeUintTo(g.pool.writable(hfn), gpa&isa.PageMask, size, v)
+	return nil
+}
+
+// WriteUintFast attempts the memoized store fast path: if the write memo
+// proves the resolveWrite verdict for gpa's page is unchanged (entry valid
+// at the current write epoch), the value is written directly to the cached
+// backing array and the per-store bitmap tests, dirty accounting and MMIO
+// range checks are all skipped — a valid entry implies the page is inside
+// guest RAM, present, writable, private and already dirty, so the slow path
+// would have reached the same byte with no guest-visible side effects
+// beyond the write itself. The per-store version bump is coalesced: the
+// first memoized store after an observation of the page's version bumps it
+// (keeping derived caches exactly coherent), later stores in the same
+// unobserved burst share that bump. Returns false on a miss; the caller
+// falls back to the full path (and WriteUintMemo to refill).
+func (g *GuestPhys) WriteUintFast(gpa uint64, size int, v uint64) bool {
+	gfn := gpa >> isa.PageShift
+	m := &g.wmemo[gfn&(wmemoSlots-1)]
+	if atomic.LoadUint64(&m.gfn) != gfn || m.epoch != atomic.LoadUint64(&g.wepoch) {
+		return false
+	}
+	if atomic.LoadUint32(&m.armed) == 0 {
+		g.bumpVersion(gfn)
+		atomic.StoreUint32(&m.armed, 1)
+	}
+	writeUintTo(m.data, gpa&isa.PageMask, size, v)
+	g.WMemoHits++
+	return true
+}
+
+// WriteUintMemo is the complete memoized store path — the fast probe
+// followed by the fill — for callers that have not already probed
+// (the invalidation tests and the fuzz oracle drive it directly).
+func (g *GuestPhys) WriteUintMemo(gpa uint64, size int, v uint64) *Fault {
+	if g.WriteUintFast(gpa, size, v) {
+		return nil
+	}
+	return g.WriteUintFill(gpa, size, v)
+}
+
+// WriteUintFill is WriteUint installing a write-memo entry for the page, so
+// subsequent stores to it hit WriteUintFast. Behaviour and guest-visible
+// side effects are identical to WriteUint — resolveWrite runs in full,
+// including COW breaks, dirty accounting and the version bump; only the
+// memo bookkeeping is added. This is the interpreter's store slow path when
+// the write memo is enabled: the caller has already probed WriteUintFast,
+// so the fill does not re-probe.
+func (g *GuestPhys) WriteUintFill(gpa uint64, size int, v uint64) *Fault {
+	gfn := gpa >> isa.PageShift
+	hfn, f := g.resolveWrite(gpa)
+	if f != nil {
+		return f
+	}
 	data := g.pool.writable(hfn)
-	off := gpa & isa.PageMask
+	m := &g.wmemo[gfn&(wmemoSlots-1)]
+	atomic.StoreUint64(&m.gfn, gfn)
+	m.epoch = atomic.LoadUint64(&g.wepoch)
+	m.data = data
+	// resolveWrite just bumped the version for this store; that bump covers
+	// the burst until the next observation.
+	atomic.StoreUint32(&m.armed, 1)
+	g.WMemoFills++
+	writeUintTo(data, gpa&isa.PageMask, size, v)
+	return nil
+}
+
+// writeUintTo encodes the value at off into a materialized page slice.
+func writeUintTo(data []byte, off uint64, size int, v uint64) {
 	switch size {
 	case 1:
 		data[off] = byte(v)
@@ -484,12 +656,18 @@ func (g *GuestPhys) WriteUint(gpa uint64, size int, v uint64) *Fault {
 	default:
 		binary.LittleEndian.PutUint64(data[off:], v)
 	}
-	return nil
 }
 
 // WriteUintPriv is WriteUint for the VMM itself: it bypasses write-protect
 // bits (the VMM emulating a guest store to a tracked page-table page) while
-// still honouring COW and dirty tracking.
+// still honouring COW and dirty tracking. The temporary protection toggle
+// deliberately does not bump the write epoch: a protected page can hold no
+// valid memo entry (the WriteProtect that protected it already bumped past
+// any fill, and resolveWrite faults on protected pages so none forms while
+// it stays protected), WriteUint never installs one, and the space is
+// single-owner so no memoized store can interleave inside the window —
+// bumping here would only flush the whole memo on every emulated PT write
+// under shadow paging.
 func (g *GuestPhys) WriteUintPriv(gpa uint64, size int, v uint64) *Fault {
 	gfn := gpa >> isa.PageShift
 	wasProt := g.WriteProtected(gfn)
@@ -518,7 +696,9 @@ func (g *GuestPhys) ReadRaw(gfn uint64, buf []byte) {
 
 // WriteRaw installs page content at gfn, populating if needed, bypassing
 // write-protection and COW semantics (migration restore path). The dirty
-// bit is left untouched.
+// bit is left untouched. The write epoch advances unconditionally — the
+// frame may change under the gfn (COW split), and migration restores are
+// cold enough that the conservative bump costs nothing.
 func (g *GuestPhys) WriteRaw(gfn uint64, buf []byte) error {
 	if err := g.Populate(gfn); err != nil {
 		return err
@@ -534,6 +714,7 @@ func (g *GuestPhys) WriteRaw(gfn uint64, buf []byte) error {
 	}
 	g.pool.WriteAt(g.hfn[gfn], 0, buf)
 	g.bumpVersion(gfn)
+	g.bumpWriteEpoch()
 	return nil
 }
 

@@ -126,6 +126,126 @@ func TestShardedPoolRaceStress(t *testing.T) {
 	}
 }
 
+// TestWriteMemoEpochRaceStress is the write-memo concurrency hammer: several
+// VMs (single-owner spaces, as the epoch protocol guarantees) hammer
+// memoized stores over one sharded pool, with epoch-barrier phases between
+// rounds performing CollectDirty over every space and KSM-style merges of
+// content-identical pages — so the following round's memoized stores must
+// COW-break the shared frames. A free-running observer goroutine probes
+// WriteEpoch and PageVersion across all spaces the whole time, the way a
+// scanner probes for stability. Run under -race this exercises the write-
+// epoch counter's atomicity, the armed-flag disarm handshake in PageVersion,
+// and the atomic page versions underneath coalesced bumps.
+func TestWriteMemoEpochRaceStress(t *testing.T) {
+	const (
+		workers  = 6
+		pages    = 16
+		rounds   = 120
+		capacity = workers*pages + 256
+	)
+	p := NewPoolSharded(capacity, 4)
+	spaces := make([]*GuestPhys, workers)
+	for i := range spaces {
+		g := NewGuestPhys(p, pages<<isa.PageShift)
+		g.SetAllocHint(i)
+		spaces[i] = g
+		if err := g.PopulateAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { // concurrent stability prober
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, g := range spaces {
+				_ = g.WriteEpoch()
+				for gfn := uint64(0); gfn < pages; gfn += 3 {
+					_ = g.PageVersion(gfn)
+				}
+			}
+		}
+	}()
+
+	dirty := make([]uint64, 0, pages)
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := range spaces {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				g := spaces[w]
+				for k := 0; k < 32; k++ {
+					gfn := uint64(k) % pages
+					// Page 1 gets identical content on every space so the
+					// barrier's merge pass always has candidates; the rest
+					// carry worker-unique values to catch cross-VM leaks.
+					val := uint64(r)<<16 | uint64(k)
+					if gfn != 1 {
+						val |= uint64(w+1) << 48
+					}
+					if f := g.WriteUintMemo(gfn<<isa.PageShift|uint64(k%8)*8, 8, val); f != nil {
+						t.Errorf("worker %d round %d: store: %v", w, r, f)
+						return
+					}
+					if v := g.PageVersion(gfn); v == 0 {
+						t.Errorf("worker %d: version never advanced", w)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Epoch barrier: dirty-log collection over every space, then a
+		// KSM-style merge of page 1 into space 0's frame.
+		for _, g := range spaces {
+			dirty = g.CollectDirty(dirty[:0])
+			if r > 0 && len(dirty) == 0 {
+				t.Fatal("a round of stores left no dirty pages")
+			}
+		}
+		canon := spaces[0].Frame(1)
+		for _, g := range spaces[1:] {
+			if v := g.Frame(1); v == NoFrame || v == canon {
+				continue
+			}
+			p.IncRef(canon)
+			g.MapShared(1, canon)
+		}
+		spaces[0].MarkCOWIfMapped(1, canon)
+	}
+	close(done)
+
+	// Every space must have broken back out of the final merge by its last
+	// round of stores... except round rounds-1's merge, which nobody wrote
+	// after. What must hold: worker-unique pages never leaked across VMs.
+	for w, g := range spaces {
+		for gfn := uint64(0); gfn < pages; gfn++ {
+			if gfn == 1 {
+				continue
+			}
+			v, f := g.ReadUint(gfn<<isa.PageShift, 8)
+			if f != nil {
+				t.Fatalf("space %d gfn %d: %v", w, gfn, f)
+			}
+			if v != 0 && v>>48 != uint64(w+1) {
+				t.Fatalf("space %d gfn %d holds %#x — another VM's store leaked in", w, gfn, v)
+			}
+		}
+	}
+	if p.COWBreaks() == 0 {
+		t.Fatal("the merge/store churn never broke COW — the stress lost its teeth")
+	}
+	if p.InUse() > capacity {
+		t.Fatalf("pool overran budget: %d > %d", p.InUse(), capacity)
+	}
+}
+
 // TestShardedPoolConcurrentExhaustion: when many allocators fight over the
 // last frames, the pool must hand out exactly the remaining budget and fail
 // the rest — never oversubscribe, never deadlock.

@@ -1,0 +1,300 @@
+package mem
+
+import (
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// primeWriteMemo installs a memo entry for gfn and proves the next store
+// hits the fast path.
+func primeWriteMemo(t *testing.T, g *GuestPhys, gfn uint64) {
+	t.Helper()
+	if f := g.WriteUintMemo(gfn*isa.PageSize, 8, 0x11); f != nil {
+		t.Fatalf("prime fill: %v", f)
+	}
+	hits := g.WMemoHits
+	if f := g.WriteUintMemo(gfn*isa.PageSize+8, 8, 0x22); f != nil {
+		t.Fatalf("prime hit: %v", f)
+	}
+	if g.WMemoHits != hits+1 {
+		t.Fatalf("second store did not hit the write memo (hits %d → %d)", hits, g.WMemoHits)
+	}
+}
+
+// TestWriteMemoCollectDirtyReDirties: CollectDirty clears dirty bits without
+// bumping page versions, so only the write epoch can invalidate the memo's
+// "already dirty" assumption. A post-collection store must go back through
+// resolveWrite and land in the next dirty set.
+func TestWriteMemoCollectDirtyReDirties(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 16*isa.PageSize)
+	if err := g.Populate(3); err != nil {
+		t.Fatal(err)
+	}
+	primeWriteMemo(t, g, 3)
+	if !g.Dirty(3) {
+		t.Fatal("memoized stores left the page clean")
+	}
+
+	round1 := g.CollectDirty(nil)
+	if len(round1) != 1 || round1[0] != 3 {
+		t.Fatalf("round 1 dirty set = %v, want [3]", round1)
+	}
+	if g.Dirty(3) {
+		t.Fatal("CollectDirty did not clear the bit")
+	}
+
+	sets := g.DirtySets
+	if f := g.WriteUintMemo(3*isa.PageSize+16, 8, 0x33); f != nil {
+		t.Fatal(f)
+	}
+	if !g.Dirty(3) || g.DirtySets != sets+1 {
+		t.Fatal("post-collection store did not re-dirty through the memo")
+	}
+	round2 := g.CollectDirty(nil)
+	if len(round2) != 1 || round2[0] != 3 {
+		t.Fatalf("round 2 dirty set = %v, want [3]", round2)
+	}
+}
+
+// TestWriteMemoObservesWriteProtect: flipping the write-protect bit either
+// way must be observed — a protected page faults even with a warm memo, and
+// unprotecting restores writability.
+func TestWriteMemoObservesWriteProtect(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 16*isa.PageSize)
+	if err := g.Populate(2); err != nil {
+		t.Fatal(err)
+	}
+	primeWriteMemo(t, g, 2)
+
+	g.WriteProtect(2, true)
+	if f := g.WriteUintMemo(2*isa.PageSize, 8, 0xBAD); f == nil || f.Kind != FaultWriteProt {
+		t.Fatalf("store to protected page through warm memo: fault %v, want write-protect", f)
+	}
+	g.WriteProtect(2, false)
+	if f := g.WriteUintMemo(2*isa.PageSize, 8, 0x77); f != nil {
+		t.Fatalf("store after unprotect: %v", f)
+	}
+	if v, _ := g.ReadUint(2*isa.PageSize, 8); v != 0x77 {
+		t.Fatalf("read back %#x, want 0x77", v)
+	}
+}
+
+// TestWriteMemoObservesKSMMerge: a dedup-style merge marks the canonical
+// side COW in place — no remap, no version bump, only the write epoch. The
+// canonical owner's next store must break COW instead of scribbling on the
+// shared frame.
+func TestWriteMemoObservesKSMMerge(t *testing.T) {
+	p := NewPool(64)
+	g1 := NewGuestPhys(p, 16*isa.PageSize)
+	g2 := NewGuestPhys(p, 16*isa.PageSize)
+	if err := g1.Populate(1); err != nil {
+		t.Fatal(err)
+	}
+	primeWriteMemo(t, g1, 1)
+	if f := g1.WriteUintMemo(1*isa.PageSize, 8, 0xAAAA); f != nil {
+		t.Fatal(f)
+	}
+
+	// The scanner's merge sequence: victim remaps to the canonical frame,
+	// canonical side flips to COW in place.
+	canon := g1.Frame(1)
+	p.IncRef(canon)
+	g2.MapShared(1, canon)
+	g1.MarkCOWIfMapped(1, canon)
+
+	breaks := g1.COWBreaks
+	if f := g1.WriteUintMemo(1*isa.PageSize, 8, 0xBBBB); f != nil {
+		t.Fatal(f)
+	}
+	if g1.COWBreaks != breaks+1 {
+		t.Fatal("post-merge store through warm memo did not break COW")
+	}
+	if g1.Frame(1) == canon {
+		t.Fatal("canonical owner still maps the shared frame after its write")
+	}
+	if v, _ := g1.ReadUint(1*isa.PageSize, 8); v != 0xBBBB {
+		t.Fatalf("writer reads %#x, want 0xBBBB", v)
+	}
+	if v, _ := g2.ReadUint(1*isa.PageSize, 8); v != 0xAAAA {
+		t.Fatalf("sharer reads %#x — the memoized store leaked through the shared frame", v)
+	}
+}
+
+// TestWriteMemoObservesUnmap: a balloon-style unmap must fault the next
+// store even with a warm memo, and a repopulated page must not resurrect
+// the old frame's bytes through the cached backing array.
+func TestWriteMemoObservesUnmap(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 16*isa.PageSize)
+	if err := g.Populate(4); err != nil {
+		t.Fatal(err)
+	}
+	primeWriteMemo(t, g, 4)
+
+	g.Unmap(4)
+	if f := g.WriteUintMemo(4*isa.PageSize, 8, 0xDEAD); f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("store to ballooned page through warm memo: fault %v, want not-present", f)
+	}
+	if err := g.Populate(4); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.ReadUint(4*isa.PageSize+8, 8); v != 0 {
+		t.Fatalf("repopulated page reads %#x, want 0", v)
+	}
+	if f := g.WriteUintMemo(4*isa.PageSize, 8, 0x55); f != nil {
+		t.Fatal(f)
+	}
+	if v, _ := g.ReadUint(4*isa.PageSize, 8); v != 0x55 {
+		t.Fatalf("read back %#x, want 0x55", v)
+	}
+}
+
+// TestWriteMemoObservesRemap: Map replacing the frame under a gfn (the
+// migration-restore / dedup-victim shape) must redirect memoized stores to
+// the new frame.
+func TestWriteMemoObservesRemap(t *testing.T) {
+	p := NewPool(64)
+	g := NewGuestPhys(p, 16*isa.PageSize)
+	if err := g.Populate(5); err != nil {
+		t.Fatal(err)
+	}
+	primeWriteMemo(t, g, 5)
+	old := g.Frame(5)
+
+	nfn, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Map(5, nfn)
+	if f := g.WriteUintMemo(5*isa.PageSize, 8, 0x99); f != nil {
+		t.Fatal(f)
+	}
+	buf := make([]byte, 8)
+	p.ReadAt(nfn, 0, buf)
+	if buf[0] != 0x99 {
+		t.Fatalf("new frame byte 0 = %#x, want 0x99", buf[0])
+	}
+	// The old frame was released by Map; it must not have been written. It
+	// is enough that the new frame received the store and the space reads it.
+	if g.Frame(5) != nfn {
+		t.Fatalf("frame = %d, want %d (old %d)", g.Frame(5), nfn, old)
+	}
+}
+
+// TestWriteMemoVersionContract: coalesced bumps must preserve the
+// PageVersion bracketing contract exactly — two observations with a store
+// between them always differ; two observations with none are equal.
+func TestWriteMemoVersionContract(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 16*isa.PageSize)
+	if err := g.Populate(7); err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(7 * isa.PageSize)
+
+	v0 := g.PageVersion(7)
+	if f := g.WriteUintMemo(addr, 8, 1); f != nil { // miss: fill + eager bump
+		t.Fatal(f)
+	}
+	v1 := g.PageVersion(7)
+	if v1 == v0 {
+		t.Fatal("fill store did not bump the version")
+	}
+	if f := g.WriteUintMemo(addr, 8, 2); f != nil { // hit after observation: must bump
+		t.Fatal(f)
+	}
+	v2 := g.PageVersion(7)
+	if v2 == v1 {
+		t.Fatal("memoized store after an observation did not advance the version")
+	}
+	// Unobserved burst: hits may share one bump, but the next observation
+	// must still differ from v2.
+	for i := 0; i < 10; i++ {
+		if f := g.WriteUintMemo(addr+uint64(i)*8, 8, uint64(i)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	v3 := g.PageVersion(7)
+	if v3 == v2 {
+		t.Fatal("burst of memoized stores was invisible to the version")
+	}
+	// No stores between observations: versions must be stable.
+	if g.PageVersion(7) != v3 {
+		t.Fatal("version changed with no intervening store")
+	}
+	// Reads never bump and always see the latest store.
+	if v, _ := g.ReadUint(addr, 8); v != 0 {
+		t.Fatalf("read %#x, want 0 (last burst store)", v)
+	}
+	if g.PageVersion(7) != v3 {
+		t.Fatal("read path advanced the version")
+	}
+}
+
+// TestWriteMemoAliasedSlots: pages colliding in the direct-mapped memo must
+// displace each other without cross-talk, and each displacement must keep
+// dirty accounting exact.
+func TestWriteMemoAliasedSlots(t *testing.T) {
+	g := NewGuestPhys(NewPool(128), 32*isa.PageSize)
+	a := uint64(3)
+	b := a + wmemoSlots // same slot
+	for _, gfn := range []uint64{a, b} {
+		if err := g.Populate(gfn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if f := g.WriteUintMemo(a*isa.PageSize+uint64(i)*8, 8, 0xA0+uint64(i)); f != nil {
+			t.Fatal(f)
+		}
+		if f := g.WriteUintMemo(b*isa.PageSize+uint64(i)*8, 8, 0xB0+uint64(i)); f != nil {
+			t.Fatal(f)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if v, _ := g.ReadUint(a*isa.PageSize+uint64(i)*8, 8); v != 0xA0+uint64(i) {
+			t.Fatalf("page a word %d = %#x", i, v)
+		}
+		if v, _ := g.ReadUint(b*isa.PageSize+uint64(i)*8, 8); v != 0xB0+uint64(i) {
+			t.Fatalf("page b word %d = %#x", i, v)
+		}
+	}
+	if !g.Dirty(a) || !g.Dirty(b) {
+		t.Fatal("aliased pages lost their dirty bits")
+	}
+}
+
+// TestWriteMemoDeviceWritesInterleave: unmemoized writes (device DMA through
+// WriteUint, bulk Write) interleaving with a warm memo must stay coherent —
+// same frame, eager version bumps, reads always current.
+func TestWriteMemoDeviceWritesInterleave(t *testing.T) {
+	g := NewGuestPhys(NewPool(64), 16*isa.PageSize)
+	if err := g.Populate(6); err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(6 * isa.PageSize)
+	primeWriteMemo(t, g, 6)
+
+	v0 := g.PageVersion(6)
+	if f := g.WriteUint(addr, 8, 0x1111); f != nil { // device-style store
+		t.Fatal(f)
+	}
+	if g.PageVersion(6) == v0 {
+		t.Fatal("unmemoized store did not bump the version")
+	}
+	if f := g.WriteUintMemo(addr+8, 8, 0x2222); f != nil { // memo still warm
+		t.Fatal(f)
+	}
+	if v, _ := g.ReadUint(addr, 8); v != 0x1111 {
+		t.Fatalf("device byte lost: %#x", v)
+	}
+	if v, _ := g.ReadUint(addr+8, 8); v != 0x2222 {
+		t.Fatalf("memoized byte lost: %#x", v)
+	}
+	v1 := g.PageVersion(6)
+	if f := g.WriteUintMemo(addr+16, 8, 0x3333); f != nil {
+		t.Fatal(f)
+	}
+	if g.PageVersion(6) == v1 {
+		t.Fatal("memoized store after observation did not advance the version")
+	}
+}

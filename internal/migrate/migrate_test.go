@@ -109,6 +109,102 @@ func TestPreCopyMemoryIdenticalAtSwitchover(t *testing.T) {
 	}
 }
 
+// TestPreCopyDirtyRoundsObserveWriteMemo is the regression test for the
+// memo-vs-migration interaction: the pre-copy engine's dirty rounds call
+// CollectDirty directly, which clears dirty bits without bumping page
+// versions — so only the write-epoch invalidation forces the guest's
+// post-round stores (which run through the write memo) back through
+// resolveWrite, where they re-dirty. If the memo ever kept serving stores
+// after a round, later rounds would see empty dirty sets, pre-copy would
+// "converge" instantly, and the destination would silently lose every
+// post-round store. The test proves the iterative rounds keep observing
+// stores with the memo enabled, and that the whole migration — round page
+// counts, bytes, downtime, destination RAM — is byte-identical to the
+// memo-off reference arm.
+func TestPreCopyDirtyRoundsObserveWriteMemo(t *testing.T) {
+	run := func(noMemo bool) (Report, *core.VM) {
+		kernel, err := guest.BuildKernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := mem.NewPool(frames)
+		cfg := core.Config{Name: "src", Mode: core.ModeHW, MemBytes: vmRAM, NoWriteMemo: noMemo}
+		src, err := core.NewVM(pool, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Six dirty pages: fewer than the write memo's slot count, so each
+		// mutation round's stores hit the previous round's memo entries —
+		// the exact warm-memo-across-CollectDirty interaction under test.
+		guest.Dirty(0, 6, 30).Apply(src)
+		if err := src.Boot(kernel); err != nil {
+			t.Fatal(err)
+		}
+		src.Step(5_000_000)
+		if src.State != core.StateRunning {
+			t.Fatalf("source state %v (err=%v)", src.State, src.Err)
+		}
+		if !noMemo && src.Mem.WMemoHits == 0 {
+			t.Fatal("warm-up never hit the write memo — vacuous regression test")
+		}
+		cfg.Name = "dst"
+		dst, err := core.NewVM(pool, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Link = Gbps(1, 50) // slow link: dirty rounds must iterate
+		opt.StopThresholdPages = 2
+		opt.MaxRounds = 6
+		rep, err := Migrate(src, dst, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, dst
+	}
+
+	repMemo, dstMemo := run(false)
+	repRef, dstRef := run(true)
+
+	// The guest dirties 48 pages per round; iterative rounds must keep
+	// finding them — a memo that swallowed post-round stores would produce
+	// empty rounds after the first.
+	if len(repMemo.Rounds) < 3 {
+		t.Fatalf("only %d pre-copy rounds — dirty logging under the memo lost its feed", len(repMemo.Rounds))
+	}
+	for i, r := range repMemo.Rounds[1 : len(repMemo.Rounds)-1] {
+		if r.Pages == 0 {
+			t.Fatalf("iterative round %d resent 0 pages: post-round stores invisible to CollectDirty", i+1)
+		}
+	}
+
+	// Memo on/off must agree on the whole migration, bit for bit.
+	if len(repMemo.Rounds) != len(repRef.Rounds) {
+		t.Fatalf("round counts diverged: %d vs %d", len(repMemo.Rounds), len(repRef.Rounds))
+	}
+	for i := range repMemo.Rounds {
+		if repMemo.Rounds[i] != repRef.Rounds[i] {
+			t.Fatalf("round %d diverged: %+v vs %+v", i, repMemo.Rounds[i], repRef.Rounds[i])
+		}
+	}
+	if repMemo.BytesSent != repRef.BytesSent || repMemo.DowntimeCycles != repRef.DowntimeCycles ||
+		repMemo.TotalCycles != repRef.TotalCycles || repMemo.Converged != repRef.Converged {
+		t.Fatalf("reports diverged:\nmemo %+v\nref  %+v", repMemo, repRef)
+	}
+	buf1 := make([]byte, isa.PageSize)
+	buf2 := make([]byte, isa.PageSize)
+	for gfn := uint64(0); gfn < dstMemo.Mem.Pages(); gfn++ {
+		dstMemo.Mem.ReadRaw(gfn, buf1)
+		dstRef.Mem.ReadRaw(gfn, buf2)
+		for i := range buf1 {
+			if buf1[i] != buf2[i] {
+				t.Fatalf("destination RAM diverged at gfn %d byte %d", gfn, i)
+			}
+		}
+	}
+	verifyDestRuns(t, dstMemo)
+}
+
 func TestPreCopyNonConvergenceAtHighDirtyRate(t *testing.T) {
 	// Fast dirtier (no think time, large set) over a slow link cannot
 	// converge; the algorithm must cap rounds and force stop-and-copy.

@@ -109,6 +109,7 @@ type Context struct {
 
 	fetch fetchMemo
 	data  [dataMemoSlots]dataMemo
+	write [dataMemoSlots]dataMemo
 }
 
 // fetchMemo caches the last successful instruction-fetch translation. It is
@@ -337,6 +338,54 @@ func (c *Context) TranslateData(va uint64, acc isa.Access, userMode bool) (gpa u
 		return c.translateShadow(va, acc, userMode, asid)
 	default:
 		return c.translateWalk(va, acc, userMode, asid)
+	}
+}
+
+// TranslateWrite is Translate specialized for stores (AccWrite). Behaviour,
+// cycle charging and every statistic are identical to calling Translate(va,
+// isa.AccWrite, userMode); repeated stores to recently used pages skip the
+// TLB set scan through a direct-mapped memo revalidated against SATP, the
+// privilege level and the TLB generation on every call. Because the access
+// kind is fixed, the fill-time write-permission check stands while the TLB
+// generation is unchanged (an entry cannot change perms without an insert
+// or flush), so — like the fetch memo, and unlike TranslateData — the hit
+// path skips the per-access permission recheck entirely. Write-denied pages
+// never fill the memo; stores to them take the full path and fault with
+// identical statistics.
+func (c *Context) TranslateWrite(va uint64, userMode bool) (gpa uint64, refs int, fault *Fault) {
+	vpn := va >> isa.PageShift
+	m := &c.write[vpn&(dataMemoSlots-1)]
+	if m.valid && m.satp == c.Satp && m.user == userMode && m.vpn == vpn {
+		if !m.paged {
+			c.Stats.Translations++
+			return va, 0, nil
+		}
+		if c.TLB.Gen() == m.gen {
+			c.Stats.Translations++
+			c.TLB.Touch(m.entry)
+			return m.ppn<<isa.PageShift | va&isa.PageMask, 0, nil
+		}
+	}
+	m.valid = false
+	c.Stats.Translations++
+	if !c.Enabled() {
+		*m = dataMemo{valid: true, satp: c.Satp, user: userMode, vpn: vpn}
+		return va, 0, nil
+	}
+	asid := c.asid()
+	if e, ok := c.TLB.LookupRef(asid, va); ok {
+		if f := c.checkTLBPerms(e.Perms, isa.AccWrite, userMode, va); f != nil {
+			return 0, 0, f
+		}
+		*m = dataMemo{valid: true, paged: true, satp: c.Satp, user: userMode,
+			vpn: vpn, gen: c.TLB.Gen(), entry: e, ppn: e.PPN}
+		return e.PPN<<isa.PageShift | va&isa.PageMask, 0, nil
+	}
+	switch c.Style {
+	case StyleShadow:
+		return c.translateShadow(va, isa.AccWrite, userMode, asid)
+	default:
+		return c.translateWalk(va, isa.AccWrite, userMode, asid)
 	}
 }
 

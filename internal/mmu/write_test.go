@@ -1,0 +1,121 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"govisor/internal/isa"
+)
+
+// TestTranslateWriteEquivalence is the store-side sibling of
+// TestTranslateDataEquivalence: two identical contexts, one translating
+// stores with the generic Translate(AccWrite), the other with the memoized
+// TranslateWrite, driven by the same randomized stream of stores, loads,
+// fetches, flushes and SATP rewrites. Results, faults and every statistic
+// must stay identical at every step — including the fill-time permission
+// check standing in for the per-access recheck the hit path skips, user-mode
+// faults replaying exactly, and memo invalidation by TLB inserts, evictions
+// and flushes from the interleaved load/fetch traffic.
+func TestTranslateWriteEquivalence(t *testing.T) {
+	build := func() (*Context, uint64) {
+		g := newSpace(t, 128)
+		root := buildIdentity(t, g, 64*isa.PageSize, 96,
+			isa.PTERead|isa.PTEWrite|isa.PTEExec)
+		c := NewContext(g, StyleDirect)
+		c.SetSatp(isa.MakeSatp(isa.SatpModePaged, 1, root))
+		return c, root
+	}
+	ref, rootA := build()
+	fast, rootB := build()
+	if rootA != rootB {
+		t.Fatalf("roots differ: %d vs %d", rootA, rootB)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	check := func(step int, gr, gf uint64, rr, rf int, fr, ff *Fault) {
+		t.Helper()
+		if (fr == nil) != (ff == nil) {
+			t.Fatalf("step %d: fault mismatch %v vs %v", step, fr, ff)
+		}
+		if fr != nil && (fr.Kind != ff.Kind || fr.Cause != ff.Cause) {
+			t.Fatalf("step %d: fault detail mismatch %v vs %v", step, fr, ff)
+		}
+		if gr != gf || rr != rf {
+			t.Fatalf("step %d: result mismatch (%#x,%d) vs (%#x,%d)", step, gr, rr, gf, rf)
+		}
+		if ref.Stats != fast.Stats {
+			t.Fatalf("step %d: mmu stats diverged\nref  %+v\nfast %+v", step, ref.Stats, fast.Stats)
+		}
+		if ref.TLB.Stats != fast.TLB.Stats {
+			t.Fatalf("step %d: tlb stats diverged\nref  %+v\nfast %+v", step, ref.TLB.Stats, fast.TLB.Stats)
+		}
+	}
+
+	for i := 0; i < 20000; i++ {
+		switch op := rng.Intn(100); {
+		case op < 55:
+			// Store, usually clustered on a few hot pages so the memo
+			// engages, sometimes beyond the mapped region so guest faults
+			// replay too, sometimes from user mode so the fill-time
+			// permission check is exercised against U-less PTEs.
+			var va uint64
+			switch rng.Intn(10) {
+			case 0:
+				va = uint64(rng.Intn(80)) << isa.PageShift // may fault
+			default:
+				va = uint64(rng.Intn(4))<<isa.PageShift + uint64(rng.Intn(512))*8
+			}
+			user := rng.Intn(8) == 0
+			gr, rr, fr := ref.Translate(va, isa.AccWrite, user)
+			gf, rf, ff := fast.TranslateWrite(va, user)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 75:
+			// Load through the data path on both sides: the load and store
+			// memos are separate arrays, and their combined stat stream must
+			// still match the single-path reference.
+			va := uint64(rng.Intn(6))<<isa.PageShift + uint64(rng.Intn(512))*8
+			gr, rr, fr := ref.Translate(va, isa.AccRead, false)
+			gf, rf, ff := fast.TranslateData(va, isa.AccRead, false)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 90:
+			// Fetch traffic: TLB inserts and LRU churn that can evict store
+			// entries underneath the write memo.
+			va := uint64(rng.Intn(64))<<isa.PageShift + uint64(rng.Intn(1024))*4
+			gr, rr, fr := ref.TranslateFetch(va, false)
+			gf, rf, ff := fast.TranslateFetch(va, false)
+			check(i, gr, gf, rr, rf, fr, ff)
+		case op < 96:
+			// SFENCE of one page or the whole space.
+			va := uint64(rng.Intn(64)) << isa.PageShift
+			if rng.Intn(4) == 0 {
+				va = 0
+			}
+			ref.Flush(va, 0)
+			fast.Flush(va, 0)
+		default:
+			// SATP rewrite (ASID flip): exercises the memo's satp guard.
+			satp := isa.MakeSatp(isa.SatpModePaged, uint16(1+rng.Intn(2)), rootA)
+			ref.SetSatp(satp)
+			fast.SetSatp(satp)
+		}
+	}
+}
+
+// TestTranslateWriteBareMode: with paging disabled the memo must still count
+// translations exactly and pass addresses through.
+func TestTranslateWriteBareMode(t *testing.T) {
+	g := newSpace(t, 16)
+	c := NewContext(g, StyleDirect)
+	for i := 0; i < 10; i++ {
+		gpa, refs, fault := c.TranslateWrite(uint64(i)*64, false)
+		if fault != nil || refs != 0 || gpa != uint64(i)*64 {
+			t.Fatalf("bare translate: gpa %#x refs %d fault %v", gpa, refs, fault)
+		}
+	}
+	if c.Stats.Translations != 10 {
+		t.Fatalf("translations = %d, want 10", c.Stats.Translations)
+	}
+	if c.TLB.Stats.Hits != 0 || c.TLB.Stats.Misses != 0 {
+		t.Fatalf("bare mode touched the TLB: %+v", c.TLB.Stats)
+	}
+}

@@ -68,17 +68,35 @@ type CPU struct {
 	// and for isolating the dispatch win in benchmarks.
 	NoThreadedDispatch bool
 
+	// NoWriteMemo pins the store path to the unmemoized reference arm:
+	// per-store mmu.TranslateData, explicit RAM/MMIO range checks and
+	// mem.WriteUint with its per-store version bump, instead of the
+	// write-path memo stack (mmu.TranslateWrite + mem.WriteUintFast/Memo).
+	// It also disables the load path's read-memo RAM-verdict fold. The memo
+	// is architecturally invisible like the engines above; this arm exists
+	// as the differential reference for the transparency tests and for
+	// isolating the write-memo win in benchmark M5.
+	NoWriteMemo bool
+
 	// pendExit carries the rare Exit out of the threaded executors and the
 	// superblock engine so the per-instruction status stays a small int
 	// (see dispatch.go).
 	pendExit Exit
+
+	// codeGfn is the guest-physical page a superblock is executing from
+	// (mem.NoFrame outside blocks): storeExec compares every retired
+	// store's page against it so self-modifying code ends the block. The
+	// fold lets blocks dispatch stores through the slot's decode-resolved
+	// executor like every other instruction; outside blocks the sentinel
+	// never matches and the status is plain stOK.
+	codeGfn uint64
 
 	Stats Stats
 }
 
 // New creates a CPU over the given memory and translation context.
 func New(m *mem.GuestPhys, ctx *mmu.Context) *CPU {
-	return &CPU{Mem: m, MMU: ctx, Costs: DefaultCosts()}
+	return &CPU{Mem: m, MMU: ctx, Costs: DefaultCosts(), codeGfn: mem.NoFrame}
 }
 
 // Reg returns register r (x0 reads as zero by construction).

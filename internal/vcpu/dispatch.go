@@ -276,10 +276,10 @@ func execLW(c *CPU, in isa.Inst, _ uint32) int  { return c.loadExec(in, 4, true)
 func execLWU(c *CPU, in isa.Inst, _ uint32) int { return c.loadExec(in, 4, false) }
 func execLD(c *CPU, in isa.Inst, _ uint32) int  { return c.loadExec(in, 8, false) }
 
-func execSB(c *CPU, in isa.Inst, _ uint32) int { st, _ := c.storeExec(in, 1); return st }
-func execSH(c *CPU, in isa.Inst, _ uint32) int { st, _ := c.storeExec(in, 2); return st }
-func execSW(c *CPU, in isa.Inst, _ uint32) int { st, _ := c.storeExec(in, 4); return st }
-func execSD(c *CPU, in isa.Inst, _ uint32) int { st, _ := c.storeExec(in, 8); return st }
+func execSB(c *CPU, in isa.Inst, _ uint32) int { return c.storeExec(in, 1) }
+func execSH(c *CPU, in isa.Inst, _ uint32) int { return c.storeExec(in, 2) }
+func execSW(c *CPU, in isa.Inst, _ uint32) int { return c.storeExec(in, 4) }
+func execSD(c *CPU, in isa.Inst, _ uint32) int { return c.storeExec(in, 8) }
 
 // loadExec is the load body shared by the threaded executors and the
 // superblock engine: semantics, cycle charges, fault taxonomy and statistics
@@ -294,6 +294,18 @@ func (c *CPU) loadExec(in isa.Inst, size int, signed bool) int {
 	c.Cycles += uint64(refs) * c.Costs.PTRef
 	if fault != nil {
 		return c.faultStatus(va, isa.AccRead, fault)
+	}
+	if !c.NoWriteMemo {
+		// Memoized RAM verdict: a read-memo hit proves the page is inside
+		// guest RAM, so the Contains/IsMMIO range checks fold into the probe
+		// and the value comes straight from the cached page — exactly what
+		// the full path below computes for an in-RAM address.
+		if v, ok := c.Mem.ReadUintFast(gpa, size); ok {
+			c.Cycles += c.Costs.MemAccess
+			c.SetReg(in.Rd, extendLoad(v, size, signed))
+			c.PC += 4
+			return stOK
+		}
 	}
 	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
 		c.PC += 4
@@ -311,54 +323,118 @@ func (c *CPU) loadExec(in isa.Inst, size int, signed bool) int {
 		c.pendExit = c.memFaultExit(va, isa.AccRead, f)
 		return stExit
 	}
-	if signed {
-		switch size {
-		case 1:
-			v = uint64(int64(int8(v)))
-		case 2:
-			v = uint64(int64(int16(v)))
-		case 4:
-			v = uint64(int64(int32(v)))
-		}
-	}
-	c.SetReg(in.Rd, v)
+	c.SetReg(in.Rd, extendLoad(v, size, signed))
 	c.PC += 4
 	return stOK
 }
 
+// extendLoad applies the architectural sign/zero extension of a load.
+func extendLoad(v uint64, size int, signed bool) uint64 {
+	if signed {
+		switch size {
+		case 1:
+			return uint64(int64(int8(v)))
+		case 2:
+			return uint64(int64(int16(v)))
+		case 4:
+			return uint64(int64(int32(v)))
+		}
+	}
+	return v
+}
+
 // storeExec is the store body shared by the threaded executors and the
 // superblock engine (same lockstep contract with execStore as loadExec).
-// The retired store's guest-physical address is returned so blockStore can
-// detect stores into the executing code page; gpa is meaningful only for
-// stOK.
-func (c *CPU) storeExec(in isa.Inst, size int) (int, uint64) {
+// A retired store into the executing superblock's code page (c.codeGfn,
+// mem.NoFrame outside blocks) returns stSMC so the block ends; every other
+// consumer treats stSMC exactly like stOK. The memoized body lives here;
+// storeExecRef is the NoWriteMemo reference arm, byte-for-byte the PR 4
+// store path.
+func (c *CPU) storeExec(in isa.Inst, size int) int {
+	if c.NoWriteMemo {
+		return c.storeExecRef(in, size)
+	}
 	va := c.X[in.Rs1] + uint64(int64(in.Imm))
 	val := c.X[in.Rs2]
 	if va&uint64(size-1) != 0 {
-		return c.guestTrapStatus(isa.CauseStoreMisaligned, va), 0
+		return c.guestTrapStatus(isa.CauseStoreMisaligned, va)
 	}
-	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccWrite, c.Priv == PrivU)
-	c.Cycles += uint64(refs) * c.Costs.PTRef
+	gpa, refs, fault := c.MMU.TranslateWrite(va, c.Priv == PrivU)
+	if refs != 0 {
+		c.Cycles += uint64(refs) * c.Costs.PTRef
+	}
 	if fault != nil {
-		return c.faultStatus(va, isa.AccWrite, fault), 0
+		return c.faultStatus(va, isa.AccWrite, fault)
+	}
+	if c.Mem.WriteUintFast(gpa, size, val) {
+		// Memoized store: the memo proves the page is in RAM (so the
+		// Contains/IsMMIO checks fold into the probe), present, writable,
+		// private and already dirty — the write itself is the only effect
+		// the slow path below would have had.
+		c.Cycles += c.Costs.MemAccess
+		c.PC += 4
+		if gpa>>isa.PageShift == c.codeGfn {
+			return stSMC
+		}
+		return stOK
 	}
 	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
 		c.PC += 4
 		c.pendExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
 			GPA: gpa, Size: uint8(size), Write: true, Value: val,
 		}})
-		return stExit, 0
+		return stExit
+	}
+	c.Cycles += c.Costs.MemAccess
+	if f := c.Mem.WriteUintFill(gpa, size, val); f != nil {
+		if f.Kind == mem.FaultBeyondRAM {
+			return c.guestTrapStatus(isa.CauseStoreAccess, va)
+		}
+		c.pendExit = c.memFaultExit(va, isa.AccWrite, f)
+		return stExit
+	}
+	c.PC += 4
+	if gpa>>isa.PageShift == c.codeGfn {
+		return stSMC
+	}
+	return stOK
+}
+
+// storeExecRef is storeExec's unmemoized reference arm: per-store
+// TranslateData, explicit range checks and WriteUint with its per-store
+// version bump — the differential baseline the memo must be invisible
+// against.
+func (c *CPU) storeExecRef(in isa.Inst, size int) int {
+	va := c.X[in.Rs1] + uint64(int64(in.Imm))
+	val := c.X[in.Rs2]
+	if va&uint64(size-1) != 0 {
+		return c.guestTrapStatus(isa.CauseStoreMisaligned, va)
+	}
+	gpa, refs, fault := c.MMU.TranslateData(va, isa.AccWrite, c.Priv == PrivU)
+	c.Cycles += uint64(refs) * c.Costs.PTRef
+	if fault != nil {
+		return c.faultStatus(va, isa.AccWrite, fault)
+	}
+	if !c.Mem.Contains(gpa) && c.IsMMIO != nil && c.IsMMIO(gpa) {
+		c.PC += 4
+		c.pendExit = c.vmExit(Exit{Reason: ExitMMIO, MMIO: MMIOInfo{
+			GPA: gpa, Size: uint8(size), Write: true, Value: val,
+		}})
+		return stExit
 	}
 	c.Cycles += c.Costs.MemAccess
 	if f := c.Mem.WriteUint(gpa, size, val); f != nil {
 		if f.Kind == mem.FaultBeyondRAM {
-			return c.guestTrapStatus(isa.CauseStoreAccess, va), 0
+			return c.guestTrapStatus(isa.CauseStoreAccess, va)
 		}
 		c.pendExit = c.memFaultExit(va, isa.AccWrite, f)
-		return stExit, 0
+		return stExit
 	}
 	c.PC += 4
-	return stOK, gpa
+	if gpa>>isa.PageShift == c.codeGfn {
+		return stSMC
+	}
+	return stOK
 }
 
 // ---- control flow ----

@@ -2,6 +2,7 @@ package vcpu
 
 import (
 	"govisor/internal/isa"
+	"govisor/internal/mem"
 )
 
 // Superblock execution: straight-line runs of predecoded instructions
@@ -34,11 +35,12 @@ import (
 //     and cycle/instret accounting is batched into one addition per block,
 //     which is exact because nothing inside a block reads the clock.
 //
-// In-block instructions run on the threaded executors (dispatch.go): the
-// slot's decode-time-resolved func pointer for ALU ops and loads, and
-// blockStore for stores (same storeExec body, plus the self-modifying-code
-// check only blocks need). Under CPU.NoThreadedDispatch the block body
-// instead routes through blockLoad/blockStore and the execute switch — the
+// In-block instructions run on the threaded executors (dispatch.go) via the
+// slot's decode-time-resolved func pointer — stores included: storeExec
+// detects stores into the executing page through c.codeGfn (set for the
+// block's duration) and reports stSMC, so blocks need no per-instruction
+// store special-casing. Under CPU.NoThreadedDispatch the block body instead
+// routes through blockLoad/blockStore and the execute switch — the
 // differential reference arm.
 
 // runBlock executes the superblock starting at slot idx of predecoded page p
@@ -66,6 +68,9 @@ func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done
 
 	instr := c.Costs.Instr
 	threaded := !c.NoThreadedDispatch
+	// Arm the self-modifying-code detector in storeExec for the block's
+	// duration; outside blocks the sentinel never matches a store.
+	c.codeGfn = gfn
 	var retired uint64
 loop:
 	for retired < n {
@@ -85,23 +90,20 @@ loop:
 		// per-instruction return path.
 		var st int
 		if threaded {
-			// Block-specialized execution: the decode-time-resolved
-			// executor for ALU ops and loads; stores add the SMC check.
-			if isa.IsStore(in.Op) {
-				st = c.blockStore(in, gfn)
-			} else {
-				st = p.fn[j](c, in, p.raw[j])
-			}
+			// Block-specialized execution: every instruction — stores
+			// included — runs the slot's decode-time-resolved executor.
+			st = p.fn[j](c, in, p.raw[j])
 		} else {
 			switch {
 			case isa.IsLoad(in.Op):
 				st = c.blockLoad(in)
 			case isa.IsStore(in.Op):
-				st = c.blockStore(in, gfn)
+				st = c.blockStore(in)
 			default:
 				pcNext := c.PC + 4
 				ex, d := c.execute(in, p.raw[j])
 				if d {
+					c.codeGfn = mem.NoFrame
 					c.Cycles += retired * instr
 					c.Instret += retired
 					return ex, true, true
@@ -116,6 +118,7 @@ loop:
 		switch st {
 		case stOK:
 		case stExit:
+			c.codeGfn = mem.NoFrame
 			c.Cycles += retired * instr
 			c.Instret += retired
 			return c.pendExit, true, true
@@ -123,6 +126,7 @@ loop:
 			break loop
 		}
 	}
+	c.codeGfn = mem.NoFrame
 	c.Cycles += retired * instr
 	c.Instret += retired
 	return Exit{}, false, true
@@ -136,14 +140,10 @@ func (c *CPU) blockLoad(in isa.Inst) int {
 	return c.loadExec(in, size, signed)
 }
 
-// blockStore runs a store inside a block. codeGfn is the executing page: a
-// store landing there is self-modifying code, which the per-instruction path
-// would observe on the very next fetch, so the block ends after the store
-// retires.
-func (c *CPU) blockStore(in isa.Inst, codeGfn uint64) int {
-	st, gpa := c.storeExec(in, storeSize(in.Op))
-	if st == stOK && gpa>>isa.PageShift == codeGfn {
-		return stSMC
-	}
-	return st
+// blockStore is the store entry for the reference (switch-dispatch) block
+// arm: the shared storeExec body (whose c.codeGfn check reports stores into
+// the executing page as stSMC) behind the storeSize width switch the
+// threaded executors resolve at decode time instead.
+func (c *CPU) blockStore(in isa.Inst) int {
+	return c.storeExec(in, storeSize(in.Op))
 }
