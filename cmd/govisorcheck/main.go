@@ -1,0 +1,82 @@
+// Command govisorcheck runs govisor's custom static-analysis suite over the
+// module: atomic-field discipline, epoch-barrier confinement, fast-path/
+// reference-arm parity, guest-visible determinism, and counter ownership.
+//
+// Usage:
+//
+//	go run ./cmd/govisorcheck ./...
+//	go run ./cmd/govisorcheck -list
+//	go run ./cmd/govisorcheck -run atomicfield,detorder ./...
+//
+// Exit status is 0 when no analyzer reports a finding, 1 on findings, 2 on
+// load/usage errors. Directives (//govisor:nonatomic, //govisor:serialonly,
+// //govisor:worker, //govisor:pair, ...) are documented in EXPERIMENTS.md
+// under "Invariants & directives".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"govisor/internal/anlz"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "directory to run go list in")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: govisorcheck [-list] [-run a,b] [-C dir] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := anlz.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*anlz.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "govisorcheck: unknown analyzer %q\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	prog, err := anlz.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "govisorcheck: %v\n", err)
+		return 2
+	}
+	diags, err := prog.Run(suite...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "govisorcheck: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "govisorcheck: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,281 @@
+// Package anlz is govisor's static-analysis suite: a set of custom
+// analyzers that machine-enforce the invariants the fast-path engines rest
+// on — atomic-access discipline on fields shared with concurrent observers,
+// the epoch-barrier confinement of cross-VM services, fast-path/reference-arm
+// lockstep, guest-visible determinism, and counter ownership. The analyzers
+// run over the whole program at once (not per package like go/vet), because
+// the invariants they check are cross-package by nature: a field declared in
+// internal/mem is accessed from internal/vcpu, a barrier-only function in
+// internal/ksm must be unreachable from a worker root in internal/core.
+//
+// The suite is deliberately built on the standard library alone (go/ast,
+// go/types, go/importer and the go list command) rather than
+// golang.org/x/tools/go/analysis, so `go run ./cmd/govisorcheck ./...` works
+// in a dependency-free module. The Analyzer/Pass shapes mirror x/tools so a
+// later migration is mechanical.
+//
+// Source annotations are `//govisor:` directives; see EXPERIMENTS.md
+// ("Invariants & directives") for the vocabulary and when suppression is
+// acceptable. Every suppressing directive requires a written reason in
+// parentheses.
+package anlz
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one whole-program check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package is one loaded, type-checked package of the program under analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	directives []Directive
+}
+
+// Pass carries the loaded program to an analyzer and collects findings.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Run executes the analyzers over the program and returns every finding,
+// sorted by file position.
+func (prog *Program) Run(analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: prog.Fset, Pkgs: prog.Pkgs}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for i := range pass.diags {
+			pass.diags[i].Analyzer = a.Name
+		}
+		all = append(all, pass.diags...)
+	}
+	fset := prog.Fset
+	sort.SliceStable(all, func(i, j int) bool {
+		pi, pj := fset.Position(all[i].Pos), fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// All returns the full analyzer suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicField, SerialOnly, PairParity, DetOrder, CounterDiscipline}
+}
+
+// ---- directives ----
+
+// Directive is one parsed `//govisor:name(arg)` (or `//govisor:name arg`)
+// source annotation.
+type Directive struct {
+	Pos  token.Pos
+	Line int
+	Name string
+	Arg  string
+}
+
+// parseDirectives extracts every govisor directive of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "govisor:") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "govisor:")
+			name := rest
+			arg := ""
+			if i := strings.IndexAny(rest, "( "); i >= 0 {
+				name = rest[:i]
+				arg = strings.TrimSpace(rest[i:])
+				arg = strings.TrimPrefix(arg, "(")
+				if j := strings.LastIndex(arg, ")"); j >= 0 {
+					arg = arg[:j]
+				}
+				arg = strings.TrimSpace(arg)
+			}
+			ds = append(ds, Directive{
+				Pos:  c.Pos(),
+				Line: fset.Position(c.Pos()).Line,
+				Name: name,
+				Arg:  arg,
+			})
+		}
+	}
+	return ds
+}
+
+// directiveAt reports a directive named name on the same line as pos or on
+// the line immediately above (the two places a statement-level suppression
+// can be written).
+func (pkg *Package) directiveAt(fset *token.FileSet, pos token.Pos, name string) (Directive, bool) {
+	line := fset.Position(pos).Line
+	file := fset.Position(pos).Filename
+	for _, d := range pkg.directives {
+		if d.Name != name {
+			continue
+		}
+		if fset.Position(d.Pos).Filename != file {
+			continue
+		}
+		if d.Line == line || d.Line == line-1 {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// funcDirective reports a directive named name written in fd's doc comment
+// group (a comment directly above the declaration is part of that group).
+// Deliberately no line-number fallback: a trailing comment on the previous
+// line of unrelated code must not attach to this declaration.
+func (pkg *Package) funcDirective(fd *ast.FuncDecl, name string) (Directive, bool) {
+	for _, d := range pkg.directives {
+		if d.Name != name {
+			continue
+		}
+		if fd.Doc != nil && d.Pos >= fd.Doc.Pos() && d.Pos <= fd.Doc.End() {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// fieldDirective reports a directive named name attached to a struct field:
+// in its doc comment or its trailing comment. As with funcDirective, no
+// line-number fallback — the previous field's trailing comment is on "the
+// line above" and must not leak onto this one.
+func (pkg *Package) fieldDirective(field *ast.Field, name string) (Directive, bool) {
+	for _, d := range pkg.directives {
+		if d.Name != name {
+			continue
+		}
+		if field.Doc != nil && d.Pos >= field.Doc.Pos() && d.Pos <= field.Doc.End() {
+			return d, true
+		}
+		if field.Comment != nil && d.Pos >= field.Comment.Pos() && d.Pos <= field.Comment.End() {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// ---- shared AST/type helpers ----
+
+// fieldOf resolves a selector expression to the struct field it selects, or
+// nil when it selects something else (a method, a package member).
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// baseSelector unwraps index and parenthesis layers of an lvalue/expression
+// chain: g.ver[gfn] → (selector g.ver, indexed=true); m.gfn → (m.gfn, false).
+func baseSelector(expr ast.Expr) (*ast.SelectorExpr, bool) {
+	indexed := false
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			indexed = true
+			expr = e.X
+		case *ast.SelectorExpr:
+			return e, indexed
+		default:
+			return nil, false
+		}
+	}
+}
+
+// funcObj resolves a call expression's callee to its static *types.Func:
+// package functions, qualified functions and concrete method calls. It
+// returns nil for calls through function values, builtins and conversions.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if f, ok := s.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvName names the receiver's named type (dereferencing pointers) for
+// diagnostics; "" when the receiver is unnamed.
+func recvName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// funcDisplayName renders fn as Pkg.Func or Pkg.(Type).Method.
+func funcDisplayName(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		if n := recvName(sig.Recv().Type()); n != "" {
+			return fmt.Sprintf("%s.(%s).%s", fn.Pkg().Name(), n, fn.Name())
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

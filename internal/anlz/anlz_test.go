@@ -1,0 +1,234 @@
+package anlz_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"govisor/internal/anlz"
+)
+
+// The analyzer suites follow the analysistest convention: testdata trees
+// under testdata/src/<analyzer>/ carry `// want "regex"` comments on every
+// line expected to produce a diagnostic; lines without a want comment must
+// stay silent. Each tree contains at least one positive (flagging) case,
+// one negative case, and one directive-suppression case per analyzer.
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// collectWants scans the loaded tree's comments for `// want "..."` marks.
+func collectWants(t *testing.T, prog *anlz.Program) map[wantKey][]string {
+	t.Helper()
+	wants := map[wantKey][]string{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := wantKey{file: pos.Filename, line: pos.Line}
+					for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+						wants[key] = append(wants[key], m[1])
+					}
+					if len(wants[key]) == 0 {
+						t.Errorf("%s: want comment with no quoted pattern: %s", pos, c.Text)
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runTree loads testdata/src/<dir> under modpath and checks analyzer
+// diagnostics against the tree's want comments.
+func runTree(t *testing.T, a *anlz.Analyzer, dir, modpath string) {
+	t.Helper()
+	prog, err := anlz.LoadTree(filepath.Join("testdata", "src", dir), modpath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := prog.Run(a)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, prog)
+	if len(wants) == 0 {
+		t.Fatalf("%s: testdata tree has no want comments; the positive cases are missing", dir)
+	}
+
+	matched := map[wantKey][]bool{}
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := wantKey{file: pos.Filename, line: pos.Line}
+		pats, ok := wants[key]
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			continue
+		}
+		if matched[key] == nil {
+			matched[key] = make([]bool, len(pats))
+		}
+		found := false
+		for i, pat := range pats {
+			if matched[key][i] {
+				continue
+			}
+			ok, err := regexp.MatchString(pat, d.Message)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+			}
+			if ok {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: diagnostic matches no want pattern: %s", pos, d.Message)
+		}
+	}
+	for key, pats := range wants {
+		for i, pat := range pats {
+			if matched[key] == nil || !matched[key][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, pat)
+			}
+		}
+	}
+}
+
+func TestAtomicField(t *testing.T) {
+	runTree(t, anlz.AtomicField, "atomicfield", "aftest")
+}
+
+func TestSerialOnly(t *testing.T) {
+	runTree(t, anlz.SerialOnly, "serialonly", "sotest")
+}
+
+func TestPairParity(t *testing.T) {
+	runTree(t, anlz.PairParity, "pairparity", "pptest")
+}
+
+func TestDetOrder(t *testing.T) {
+	runTree(t, anlz.DetOrder, "detorder", "govisor")
+}
+
+func TestCounterDiscipline(t *testing.T) {
+	runTree(t, anlz.CounterDiscipline, "counterdiscipline", "cdtest")
+}
+
+// TestGovisorcheckCleanOnRepo is the acceptance gate: the full suite must
+// exit clean on the real module, directives included. A regression here is
+// exactly what CI's `go run ./cmd/govisorcheck ./...` step would catch.
+func TestGovisorcheckCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := anlz.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := prog.Run(anlz.All()...)
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}
+
+// TestDirectivesCarryReasons enforces the vocabulary contract: every
+// suppressing directive in the real tree must include a written reason.
+func TestDirectivesCarryReasons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := anlz.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	needReason := map[string]bool{
+		"nonatomic":  true,
+		"serialonly": true,
+		"serialok":   true,
+		"nondet":     true,
+		"hostclock":  true,
+		"counterok":  true,
+	}
+	// Anchored at comment start, like the directive parser: prose that
+	// merely mentions a directive is not a directive.
+	re := regexp.MustCompile(`^govisor:([a-z]+)(.*)`)
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					m := re.FindStringSubmatch(text)
+					if m == nil || !needReason[m[1]] {
+						continue
+					}
+					arg := strings.TrimSpace(m[2])
+					if !strings.HasPrefix(arg, "(") || len(strings.Trim(arg, "() ")) == 0 {
+						t.Errorf("%s: directive //govisor:%s needs a (reason)",
+							prog.Fset.Position(c.Pos()), m[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzerMetadata pins the suite roster so a dropped analyzer fails
+// loudly rather than silently thinning CI.
+func TestAnalyzerMetadata(t *testing.T) {
+	want := []string{"atomicfield", "serialonly", "pairparity", "detorder", "counterdiscipline"}
+	all := anlz.All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: missing Doc or Run", a.Name)
+		}
+	}
+}
+
+// TestLoadTreeShape sanity-checks the testdata loader itself: package
+// naming, in-tree import resolution and comment retention, which every
+// suite above depends on.
+func TestLoadTreeShape(t *testing.T) {
+	prog, err := anlz.LoadTree(filepath.Join("testdata", "src", "counterdiscipline"), "cdtest")
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	byPath := map[string]bool{}
+	comments := 0
+	for _, pkg := range prog.Pkgs {
+		byPath[pkg.Path] = true
+		for _, f := range pkg.Files {
+			comments += len(f.Comments)
+			ast.Inspect(f, func(n ast.Node) bool { return true })
+		}
+	}
+	for _, p := range []string{"cdtest/owner", "cdtest/use"} {
+		if !byPath[p] {
+			t.Errorf("missing package %s (have %v)", p, byPath)
+		}
+	}
+	if comments == 0 {
+		t.Error("comments were not retained by the loader")
+	}
+}

@@ -1,0 +1,205 @@
+package anlz
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomic access to struct fields: a
+// field that is read or written through sync/atomic anywhere in the program
+// must be accessed through sync/atomic everywhere. The race detector only
+// catches a mixed access when the schedule actually interleaves it; this
+// check catches it at lint time, which is what the memo-coherence fields
+// (mem.GuestPhys.ver/wepoch, writeMemo.gfn/armed, pool refcnts) rely on —
+// a single plain read of one of those can observe a torn or stale value on
+// exactly the cross-goroutine probe the counters exist for.
+//
+// Two granularities are tracked. When atomics target the field itself
+// (&s.f), every plain access of f is flagged. When atomics target an element
+// (&s.f[i]), element reads and writes are flagged but whole-slice operations
+// (s.f = make(...), len, range) are not: the slice header is owner-only
+// setup, the elements are the shared cells.
+//
+// Suppression: `//govisor:nonatomic(reason)` on the field declaration
+// exempts the field; the same directive on an access line exempts that
+// access (for provably pre-publication initialization).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicField,
+}
+
+type atomicUse struct {
+	pos     token.Pos // one representative atomic access, for the diagnostic
+	element bool      // atomics target &f[i] rather than &f
+	direct  bool      // atomics target &f itself
+}
+
+func runAtomicField(pass *Pass) error {
+	atomicFields := map[*types.Var]*atomicUse{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+
+	// Pass 1: collect fields whose address feeds a sync/atomic call.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(info, call) || len(call.Args) == 0 {
+					return true
+				}
+				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					return true
+				}
+				sel, indexed := baseSelector(unary.X)
+				if sel == nil {
+					return true
+				}
+				field := fieldOf(info, sel)
+				if field == nil {
+					return true
+				}
+				use := atomicFields[field]
+				if use == nil {
+					use = &atomicUse{pos: call.Pos()}
+					atomicFields[field] = use
+				}
+				if indexed {
+					use.element = true
+				} else {
+					use.direct = true
+				}
+				sanctioned[sel] = true
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	fieldDecls := fieldDeclIndex(pass)
+
+	// Pass 2: flag every plain access of those fields.
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			var stack []ast.Node
+			ast.Inspect(file, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				// Ranging with a value variable reads elements, which for an
+				// element-atomic field is a plain element access.
+				if rng, ok := n.(*ast.RangeStmt); ok && rng.Value != nil {
+					if sel, _ := baseSelector(rng.X); sel != nil {
+						field := fieldOf(info, sel)
+						if use, tracked := atomicFields[field]; tracked && use.element {
+							if _, suppressed := pkg.directiveAt(pass.Fset, rng.Pos(), "nonatomic"); !suppressed {
+								pass.Reportf(rng.Pos(),
+									"range over field %s reads its elements directly, but they are accessed atomically (e.g. at %s)",
+									fieldDisplay(field), pass.Fset.Position(use.pos))
+							}
+						}
+					}
+					return true
+				}
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				field := fieldOf(info, sel)
+				use, tracked := atomicFields[field]
+				if !tracked {
+					return true
+				}
+				// Element-only atomics: a plain mention of the field is an
+				// access to the shared cells only when indexed.
+				if !use.direct && use.element && !selectorIndexed(stack, sel) {
+					return true
+				}
+				if fd, ok := fieldDecls[field]; ok {
+					if _, suppressed := fd.pkg.fieldDirective(fd.field, "nonatomic"); suppressed {
+						return true
+					}
+				}
+				if _, suppressed := pkg.directiveAt(pass.Fset, sel.Pos(), "nonatomic"); suppressed {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed atomically (e.g. at %s) but accessed directly here; use sync/atomic or annotate the field //govisor:nonatomic(reason)",
+					fieldDisplay(field), pass.Fset.Position(use.pos))
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports a call to a sync/atomic package-level function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcObj(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// selectorIndexed reports whether sel is the operand of an index expression
+// (s.f[i], including (s.f)[i]) — i.e. whether the access touches an element
+// rather than the slice header.
+func selectorIndexed(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	child := ast.Node(sel)
+	for j := len(stack) - 2; j >= 0; j-- {
+		switch e := stack[j].(type) {
+		case *ast.ParenExpr:
+			child = e
+		case *ast.IndexExpr:
+			return e.X == child
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+type fieldDecl struct {
+	pkg   *Package
+	field *ast.Field
+}
+
+// fieldDeclIndex maps every struct field object of the program to its
+// declaration site (for field-level directive lookups).
+func fieldDeclIndex(pass *Pass) map[*types.Var]fieldDecl {
+	idx := map[*types.Var]fieldDecl{}
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				for _, f := range st.Fields.List {
+					for _, name := range f.Names {
+						if v, ok := info.Defs[name].(*types.Var); ok {
+							idx[v] = fieldDecl{pkg: pkg, field: f}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return idx
+}
+
+// fieldDisplay renders a field for diagnostics as pkg.field.
+func fieldDisplay(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

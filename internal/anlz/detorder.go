@@ -1,0 +1,335 @@
+package anlz
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetOrder flags the classic nondeterminism hazards in guest-visible
+// packages of a byte-identical simulator:
+//
+//   - map iteration whose per-element effects escape the loop in an
+//     order-sensitive way. Order-insensitive bodies are allowed: deleting
+//     from the ranged map, commutative accumulation (+=, |=, counters,
+//     min/max folds), writes indexed by the range key, and the
+//     collect-then-sort idiom (append into a slice that is subsequently
+//     sorted in the same function).
+//   - time.Now and unseeded math/rand: wall-clock and global-RNG values
+//     must never feed guest-visible state. `//govisor:hostclock(reason)`
+//     allowlists a site as host-side telemetry; `//govisor:nondet(reason)`
+//     allowlists a map range proven order-insensitive by other means.
+//
+// Guest-visible means every govisor/internal/... package except the bench
+// harness and this analysis suite — those run host-side by construction.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "guest-visible packages must not iterate maps with escaping effects or read wall clock/global RNG",
+	Run:  runDetOrder,
+}
+
+func runDetOrder(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		if !guestVisible(pkg.Path) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					checkNondetSource(pass, pkg, e)
+				case *ast.FuncDecl:
+					if e.Body != nil {
+						checkMapRanges(pass, pkg, e)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// guestVisible reports whether a package's state can reach guest-observable
+// simulation output.
+func guestVisible(path string) bool {
+	if !strings.HasPrefix(path, "govisor/internal/") {
+		return false
+	}
+	switch {
+	case strings.HasPrefix(path, "govisor/internal/bench"),
+		strings.HasPrefix(path, "govisor/internal/anlz"):
+		return false
+	}
+	return true
+}
+
+// checkNondetSource flags time.Now and global math/rand calls.
+func checkNondetSource(pass *Pass, pkg *Package, call *ast.CallExpr) {
+	fn := funcObj(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	var what, directive string
+	switch {
+	case fn.Pkg().Path() == "time" && fn.Name() == "Now":
+		what, directive = "time.Now", "hostclock"
+	case fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2":
+		// Methods on an explicit *rand.Rand are fine — the seed is the
+		// caller's responsibility and deterministic seeding is idiomatic
+		// here. Package-level functions use the global, randomly-seeded
+		// source.
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return
+		}
+		if fn.Name() == "New" || fn.Name() == "NewSource" || strings.HasPrefix(fn.Name(), "NewPCG") || fn.Name() == "NewChaCha8" {
+			return
+		}
+		what, directive = fn.Pkg().Path()+"."+fn.Name(), "hostclock"
+	default:
+		return
+	}
+	if _, ok := pkg.directiveAt(pass.Fset, call.Pos(), directive); ok {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s in guest-visible package %s: wall clock/global RNG breaks determinism; use the simulated clock or a seeded rand.Rand, or annotate //govisor:%s(reason)",
+		what, pkg.Name, directive)
+}
+
+// checkMapRanges inspects every map-range statement of a function body.
+func checkMapRanges(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pkg.Info.TypeOf(rng.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if _, ok := pkg.directiveAt(pass.Fset, rng.Pos(), "nondet"); ok {
+			return true
+		}
+		if effects := orderSensitiveEffect(pkg, fd, rng); effects != "" {
+			pass.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic and %s; iterate sorted keys, make the body order-insensitive, or annotate //govisor:nondet(reason)",
+				effects)
+		}
+		return true
+	})
+}
+
+// orderSensitiveEffect decides whether a map-range body has effects that
+// escape the loop in an order-dependent way. It returns "" for benign
+// bodies and a description of the first offending effect otherwise.
+func orderSensitiveEffect(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt) string {
+	info := pkg.Info
+	keyObj := rangeVarObj(info, rng.Key)
+	valObj := rangeVarObj(info, rng.Value)
+	mapObj := exprRootObj(info, rng.X)
+
+	// Collect identifiers appended to inside the body; if every appended-to
+	// slice is sorted later in the same function, the idiom is
+	// collect-then-sort and benign.
+	appended := map[types.Object]bool{}
+
+	var offend string
+	note := func(s string) {
+		if offend == "" {
+			offend = s
+		}
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if offend != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.ASSIGN || st.Tok == token.DEFINE {
+				for i, lhs := range st.Lhs {
+					// append target?
+					if i < len(st.Rhs) {
+						if call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+							if obj := exprRootObj(info, lhs); obj != nil && !localToBody(obj, rng) {
+								appended[obj] = true
+								continue
+							}
+						}
+					}
+					if benignAssignTarget(info, lhs, keyObj, valObj, rng) {
+						continue
+					}
+					if obj := exprRootObj(info, lhs); obj != nil && localToBody(obj, rng) {
+						continue
+					}
+					note("assigns to state that outlives the loop")
+				}
+				return true
+			}
+			// Compound assignment: commutative ops folding into an
+			// accumulator are order-insensitive.
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.SUB_ASSIGN:
+				return true
+			default:
+				for _, lhs := range st.Lhs {
+					if obj := exprRootObj(info, lhs); obj != nil && localToBody(obj, rng) {
+						continue
+					}
+					note("assigns to state that outlives the loop")
+				}
+			}
+		case *ast.IncDecStmt:
+			return true // counters commute
+		case *ast.CallExpr:
+			if isBuiltin(info, st, "delete") && len(st.Args) > 0 && exprRootObj(info, st.Args[0]) == mapObj {
+				return true // deleting from the ranged map is explicitly safe and order-free
+			}
+			if isBuiltin(info, st, "append") || isBuiltin(info, st, "len") || isBuiltin(info, st, "cap") || isBuiltin(info, st, "delete") {
+				return true
+			}
+			if fn := funcObj(info, st); fn != nil {
+				// Calls can carry arbitrary effects; only flag when a range
+				// variable flows in — a call independent of the element is
+				// the same every iteration.
+				if usesObj(info, st, keyObj) || usesObj(info, st, valObj) {
+					note("calls " + funcDisplayName(fn) + " with the range element")
+				}
+				return true
+			}
+			if usesObj(info, st, keyObj) || usesObj(info, st, valObj) {
+				note("calls a function value with the range element")
+			}
+		case *ast.ReturnStmt:
+			note("returns from inside the iteration")
+		case *ast.BranchStmt:
+			if st.Tok == token.GOTO {
+				note("branches out of the iteration")
+			}
+		case *ast.SendStmt:
+			note("sends on a channel")
+		}
+		return true
+	})
+	if offend != "" {
+		return offend
+	}
+	// append targets must be sorted afterwards in the same function
+	for obj := range appended {
+		if !sortedAfter(pkg, fd, rng, obj) {
+			return "appends to " + obj.Name() + " without sorting it afterwards"
+		}
+	}
+	return ""
+}
+
+// benignAssignTarget reports assignment shapes that are order-insensitive:
+// writes indexed by the range key or value (m2[k] = ...), and min/max-style
+// folds guarded by a comparison with the range variables.
+func benignAssignTarget(info *types.Info, lhs ast.Expr, keyObj, valObj types.Object, rng *ast.RangeStmt) bool {
+	if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+		if usesObj(info, idx.Index, keyObj) || usesObj(info, idx.Index, valObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// rangeVarObj resolves a range clause variable to its object.
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// exprRootObj walks to the root identifier of a selector/index chain.
+func exprRootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// localToBody reports whether obj is declared inside the range statement.
+func localToBody(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()
+}
+
+// usesObj reports whether node references obj (or, when obj is nil, never).
+func usesObj(info *types.Info, node ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports a call of the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after the
+// range statement within the same function.
+func sortedAfter(pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	info := pkg.Info
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p := fn.Pkg().Path()
+		if p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObj(info, arg, obj) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

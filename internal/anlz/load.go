@@ -1,0 +1,247 @@
+package anlz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Program is a fully loaded and type-checked set of packages — the unit the
+// analyzers run over. Only the target packages appear in Pkgs; their
+// out-of-module dependencies (the standard library) are type-checked through
+// the shared source importer but not analyzed.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// The source importer type-checks standard-library dependencies from
+// $GOROOT/src. It is shared process-wide (its internal cache makes repeat
+// loads cheap) and serialized by srcMu: the importer is not safe for
+// concurrent use.
+var (
+	srcMu   sync.Mutex
+	srcImp  types.Importer
+	srcOnce sync.Once
+)
+
+func sourceImport(path string) (*types.Package, error) {
+	srcMu.Lock()
+	defer srcMu.Unlock()
+	srcOnce.Do(func() {
+		// The importer gets its own FileSet: positions inside dependency
+		// packages never surface in diagnostics.
+		srcImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+	})
+	return srcImp.Import(path)
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList runs `go list -json patterns...` in dir.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks a set of source directories with a closed import
+// universe: target packages resolve against each other, everything else
+// resolves through the shared source importer.
+type loader struct {
+	fset    *token.FileSet
+	sources map[string]*listedPkg // import path → files on disk
+	done    map[string]*Package
+	loading map[string]bool
+	err     error
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if src, ok := l.sources[path]; ok {
+		pkg, err := l.load(src)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return sourceImport(path)
+}
+
+func (l *loader) load(src *listedPkg) (*Package, error) {
+	if pkg, ok := l.done[src.ImportPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[src.ImportPath] {
+		return nil, fmt.Errorf("import cycle through %s", src.ImportPath)
+	}
+	l.loading[src.ImportPath] = true
+	defer delete(l.loading, src.ImportPath)
+
+	var files []*ast.File
+	for _, name := range src.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(src.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tp, err := conf.Check(src.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", src.ImportPath, err)
+	}
+	name := src.Name
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	pkg := &Package{
+		Path:  src.ImportPath,
+		Name:  name,
+		Files: files,
+		Types: tp,
+		Info:  info,
+	}
+	for _, f := range files {
+		pkg.directives = append(pkg.directives, parseDirectives(l.fset, f)...)
+	}
+	l.done[src.ImportPath] = pkg
+	return pkg, nil
+}
+
+func (l *loader) program(order []*listedPkg) (*Program, error) {
+	prog := &Program{Fset: l.fset}
+	for _, src := range order {
+		pkg, err := l.load(src)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	return prog, nil
+}
+
+// Load type-checks the packages matched by the go list patterns (relative to
+// dir) and returns them as a Program. Test files are excluded: the analyzers
+// enforce invariants on the shipped code; tests may legitimately poke
+// internal state.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:    token.NewFileSet(),
+		sources: map[string]*listedPkg{},
+		done:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	for _, p := range listed {
+		l.sources[p.ImportPath] = p
+	}
+	return l.program(listed)
+}
+
+// LoadTree loads a self-contained source tree (the analyzers' testdata):
+// every directory under root holding .go files becomes one package whose
+// import path is modpath joined with the directory's relative path (root
+// itself maps to modpath). Imports with the modpath prefix resolve within
+// the tree; everything else resolves through the source importer.
+func LoadTree(root, modpath string) (*Program, error) {
+	l := &loader{
+		fset:    token.NewFileSet(),
+		sources: map[string]*listedPkg{},
+		done:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil || !fi.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var goFiles []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				goFiles = append(goFiles, e.Name())
+			}
+		}
+		if len(goFiles) == 0 {
+			return nil
+		}
+		sort.Strings(goFiles)
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		ip := modpath
+		if rel != "." {
+			ip = modpath + "/" + filepath.ToSlash(rel)
+		}
+		name := filepath.Base(path)
+		if rel == "." {
+			name = filepath.Base(modpath)
+		}
+		l.sources[ip] = &listedPkg{ImportPath: ip, Dir: path, Name: name, GoFiles: goFiles}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var order []*listedPkg
+	for _, src := range l.sources {
+		order = append(order, src)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].ImportPath < order[j].ImportPath })
+	return l.program(order)
+}

@@ -1,0 +1,221 @@
+package anlz
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SerialOnly enforces the epoch-barrier contract: functions annotated
+// `//govisor:serialonly(reason)` — cross-VM services like KSM merging,
+// balloon reclaim, vnet.Switch.Flush/SetDeferred, migration rounds and
+// scheduler mutation — must be statically unreachable from worker-context
+// roots, the functions annotated `//govisor:worker` ((*core.VM).Step and
+// (*vcpu.CPU).Run). A worker owns exactly one VM's state; reaching a
+// function that touches other VMs mid-epoch is a determinism and memory-
+// safety violation that -race only catches under the right interleaving.
+//
+// The call graph is static: direct calls and concrete method calls resolve
+// exactly; interface method calls expand by class-hierarchy analysis (every
+// program type implementing the interface); calls through plain function
+// values (fields, parameters) are not expanded — hook fields like
+// core.VM.ReclaimHook carry their contract in documentation, which is
+// exactly the gap the annotations close for named functions. Function
+// literals are attributed to their enclosing declaration.
+//
+// Suppression: `//govisor:serialok(reason)` on a call line removes that
+// edge, asserting the call is dynamically confined to the barrier.
+var SerialOnly = &Analyzer{
+	Name: "serialonly",
+	Doc:  "//govisor:serialonly functions must be unreachable from //govisor:worker roots",
+	Run:  runSerialOnly,
+}
+
+type callEdge struct {
+	to  *types.Func
+	pos token.Pos
+}
+
+type callGraph struct {
+	edges map[*types.Func][]callEdge
+	decls map[*types.Func]*ast.FuncDecl
+	pkgOf map[*types.Func]*Package
+}
+
+func runSerialOnly(pass *Pass) error {
+	g := buildCallGraph(pass)
+
+	var roots, serial []*types.Func
+	for fn, decl := range g.decls {
+		pkg := g.pkgOf[fn]
+		if _, ok := pkg.funcDirective(decl, "worker"); ok {
+			roots = append(roots, fn)
+		}
+		if _, ok := pkg.funcDirective(decl, "serialonly"); ok {
+			serial = append(serial, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	serialSet := map[*types.Func]bool{}
+	for _, fn := range serial {
+		serialSet[fn] = true
+	}
+
+	for _, root := range roots {
+		// BFS, remembering the edge that first reached each function so a
+		// finding can show the full call path.
+		type visit struct {
+			from *types.Func
+			via  token.Pos
+		}
+		seen := map[*types.Func]visit{root: {}}
+		queue := []*types.Func{root}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			if serialSet[fn] {
+				// Report at the call site entering the serialonly function.
+				path := []string{funcDisplayName(fn)}
+				via := seen[fn].via
+				for cur := seen[fn].from; cur != nil; cur = seen[cur].from {
+					path = append(path, funcDisplayName(cur))
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				pass.Reportf(via,
+					"serialonly function %s is reachable from worker root %s: %s; confine it to the epoch barrier or annotate the call //govisor:serialok(reason)",
+					funcDisplayName(fn), funcDisplayName(root), strings.Join(path, " → "))
+				continue // don't walk past a reported function
+			}
+			for _, e := range g.edges[fn] {
+				if _, ok := seen[e.to]; ok {
+					continue
+				}
+				seen[e.to] = visit{from: fn, via: e.pos}
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return nil
+}
+
+// buildCallGraph walks every function declaration of the program and
+// records its statically resolvable callees.
+func buildCallGraph(pass *Pass) *callGraph {
+	g := &callGraph{
+		edges: map[*types.Func][]callEdge{},
+		decls: map[*types.Func]*ast.FuncDecl{},
+		pkgOf: map[*types.Func]*Package{},
+	}
+	cha := newCHAIndex(pass)
+	for _, pkg := range pass.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.decls[fn] = fd
+				g.pkgOf[fn] = pkg
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if _, ok := pkg.directiveAt(pass.Fset, call.Pos(), "serialok"); ok {
+						return true
+					}
+					for _, callee := range resolveCallees(pkg.Info, call, cha) {
+						g.edges[fn] = append(g.edges[fn], callEdge{to: callee, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// resolveCallees returns the possible static callees of a call expression:
+// the exact function for direct and concrete-method calls, or the CHA
+// expansion for interface-method calls.
+func resolveCallees(info *types.Info, call *ast.CallExpr, cha *chaIndex) []*types.Func {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			fn, ok := s.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(s.Recv().Underlying()) {
+				return cha.implementations(s.Recv(), fn)
+			}
+			return []*types.Func{fn}
+		}
+	}
+	if fn := funcObj(info, call); fn != nil {
+		return []*types.Func{fn}
+	}
+	return nil
+}
+
+// chaIndex supports class-hierarchy analysis: for an interface method call,
+// the possible callees are that method on every program type implementing
+// the interface.
+type chaIndex struct {
+	named []*types.Named
+	memo  map[chaKey][]*types.Func
+}
+
+type chaKey struct {
+	iface  *types.Interface
+	method string
+}
+
+func newCHAIndex(pass *Pass) *chaIndex {
+	idx := &chaIndex{memo: map[chaKey][]*types.Func{}}
+	for _, pkg := range pass.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok && !types.IsInterface(named.Underlying()) {
+				idx.named = append(idx.named, named)
+			}
+		}
+	}
+	sort.Slice(idx.named, func(i, j int) bool { return idx.named[i].Obj().Pos() < idx.named[j].Obj().Pos() })
+	return idx
+}
+
+func (idx *chaIndex) implementations(recv types.Type, method *types.Func) []*types.Func {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return []*types.Func{method}
+	}
+	key := chaKey{iface: iface, method: method.Name()}
+	if fns, ok := idx.memo[key]; ok {
+		return fns
+	}
+	var fns []*types.Func
+	for _, named := range idx.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, method.Pkg(), method.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			fns = append(fns, fn)
+		}
+	}
+	idx.memo[key] = fns
+	return fns
+}

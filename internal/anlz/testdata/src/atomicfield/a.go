@@ -1,0 +1,63 @@
+package aftest
+
+import "sync/atomic"
+
+type S struct {
+	n     uint64
+	noted uint64 //govisor:nonatomic(owner goroutine only; atomic use below is belt-and-braces)
+	elems []uint64
+	plain uint64
+}
+
+// Atomic uses establish the discipline.
+func (s *S) bump()              { atomic.AddUint64(&s.n, 1) }
+func (s *S) bumpNoted()         { atomic.AddUint64(&s.noted, 1) }
+func (s *S) bumpElem(i int)     { atomic.AddUint64(&s.elems[i], 1) }
+func (s *S) loadAtomic() uint64 { return atomic.LoadUint64(&s.n) }
+
+// Positive: plain read of a direct-atomic field.
+func (s *S) badRead() uint64 { return s.n } // want "accessed atomically"
+
+// Positive: plain write of a direct-atomic field.
+func (s *S) badWrite() { s.n = 0 } // want "accessed atomically"
+
+// Negative: field-level //govisor:nonatomic suppresses everywhere.
+func (s *S) okNoted() uint64 { return s.noted }
+
+// Negative: access-line suppression for pre-publication init.
+func newS() *S {
+	s := &S{}
+	//govisor:nonatomic(not yet published; no concurrent observer exists)
+	s.n = 0
+	return s
+}
+
+// Negative: untracked fields are never flagged.
+func (s *S) okPlain() uint64 { return s.plain }
+
+// Element-granular atomics: slice-header operations stay legal...
+func (s *S) okHeader() int {
+	s.elems = make([]uint64, 8)
+	return len(s.elems)
+}
+
+// ...but plain element access is flagged.
+func (s *S) badElem(i int) uint64 { return s.elems[i] } // want "accessed atomically"
+
+// Positive: ranging with a value variable reads elements directly.
+func (s *S) badRange() uint64 {
+	var total uint64
+	for _, v := range s.elems { // want "reads its elements directly"
+		total += v
+	}
+	return total
+}
+
+// Negative: index-only range never touches element values.
+func (s *S) okIndexRange() int {
+	count := 0
+	for range s.elems {
+		count++
+	}
+	return count
+}

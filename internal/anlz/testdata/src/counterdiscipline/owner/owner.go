@@ -1,0 +1,18 @@
+// Package owner holds the counters; only it (or an explicit stat method)
+// may bump them.
+package owner
+
+type Stats struct {
+	Exits  uint64
+	Merges uint64
+	label  string
+}
+
+// Negative: the owning package bumps its own counters freely.
+func (s *Stats) NoteExit() { s.Exits++ }
+
+// AddMerges is the sanctioned cross-package mutation path.
+func (s *Stats) AddMerges(n uint64) { s.Merges += n }
+
+// Label is here so the struct has non-counter state too.
+func (s *Stats) Label() string { return s.label }

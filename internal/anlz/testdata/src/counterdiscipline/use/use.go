@@ -1,0 +1,29 @@
+package use
+
+import "cdtest/owner"
+
+// Positive: a foreign package read-modify-writes the owner's counter.
+func Bad(s *owner.Stats) {
+	s.Exits++ // want "owned by package owner"
+}
+
+// Positive: compound assignment is the same violation.
+func BadAdd(s *owner.Stats, n uint64) {
+	s.Exits += n // want "owned by package owner"
+}
+
+// Negative: the sanctioned path routes through the owner's method.
+func Ok(s *owner.Stats, n uint64) {
+	s.AddMerges(n)
+}
+
+// Negative: wholesale assignment is state restoration, not accounting.
+func OkRestore(s *owner.Stats, snapshot uint64) {
+	s.Exits = snapshot
+}
+
+// Negative: an explicit //govisor:counterok suppression.
+func OkSuppressed(s *owner.Stats) {
+	//govisor:counterok(replay path; reconstructing the owner's history verbatim)
+	s.Exits++
+}

@@ -1,0 +1,18 @@
+// Package hosttool is host-side only (not under internal/), so the
+// determinism rules do not apply: these are all negative cases.
+package hosttool
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 { return time.Now().UnixNano() }
+
+func Jitter() uint64 { return rand.Uint64() }
+
+func Spread(m map[string]int, sink func(string, int)) {
+	for k, v := range m {
+		sink(k, v)
+	}
+}

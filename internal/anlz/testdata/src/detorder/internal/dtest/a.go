@@ -1,0 +1,115 @@
+package dtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type T struct {
+	m   map[uint64]uint64
+	rng *rand.Rand
+}
+
+// Positive: wall clock in a guest-visible package.
+func (t *T) badClock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// Negative: //govisor:hostclock allowlists host-side telemetry.
+func (t *T) okClock() int64 {
+	//govisor:hostclock(debug telemetry; value never reaches guest state)
+	return time.Now().UnixNano()
+}
+
+// Positive: the global math/rand source is randomly seeded.
+func (t *T) badRand() uint64 {
+	return rand.Uint64() // want "math/rand"
+}
+
+// Negative: an explicit *rand.Rand carries its seed; determinism is the
+// constructor's contract.
+func (t *T) okRand() uint64 {
+	return t.rng.Uint64()
+}
+
+// Negative: constructing a seeded source is the deterministic idiom.
+func newT(seed int64) *T {
+	return &T{m: map[uint64]uint64{}, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Positive: a min-fold writes a variable that outlives the loop; the
+// analyzer cannot see the fold is order-insensitive.
+func (t *T) badFold() uint64 {
+	best := uint64(0)
+	for _, v := range t.m { // want "map iteration order is nondeterministic"
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Negative: the same fold under an explicit order-insensitivity claim.
+func (t *T) okFoldSuppressed() uint64 {
+	best := uint64(0)
+	//govisor:nondet(pure max fold; result independent of iteration order)
+	for _, v := range t.m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Negative: commutative accumulation is order-insensitive.
+func (t *T) okSum() uint64 {
+	var sum uint64
+	for _, v := range t.m {
+		sum += v
+	}
+	return sum
+}
+
+// Negative: collect-then-sort restores a deterministic order.
+func (t *T) okSortedKeys() []uint64 {
+	var keys []uint64
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Positive: collected keys escape without the sort.
+func (t *T) badKeys() []uint64 {
+	var keys []uint64
+	for k := range t.m { // want "without sorting"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Negative: writes indexed by the range key commute.
+func (t *T) okCopy(dst map[uint64]uint64) {
+	for k, v := range t.m {
+		dst[k] = v
+	}
+}
+
+// Negative: deleting from the ranged map is explicitly specified and
+// order-free.
+func (t *T) okPrune() {
+	for k := range t.m {
+		if k%2 == 0 {
+			delete(t.m, k)
+		}
+	}
+}
+
+// Positive: calling out with the range element leaks iteration order.
+func (t *T) badCallOut(sink func(uint64)) {
+	for k := range t.m { // want "map iteration order is nondeterministic"
+		sink(k)
+	}
+}

@@ -1,0 +1,72 @@
+package pptest
+
+type C struct {
+	Cycles  uint64
+	Instret uint64
+	scratch []byte
+}
+
+// Negative: arms mutate the same integer fields (order and idiom differ).
+//
+//govisor:pair slowAdd
+func (c *C) fastAdd() {
+	c.Instret++
+	c.Cycles += 2
+}
+
+func (c *C) slowAdd() {
+	c.Cycles++
+	c.Instret += 1
+}
+
+// Positive: the fast path forgot the Instret bump the reference arm has.
+//
+//govisor:pair slowDrift
+func (c *C) fastDrift() { // want "does not mutate"
+	c.Cycles++
+}
+
+func (c *C) slowDrift() {
+	c.Cycles++
+	c.Instret++
+}
+
+// Positive: the fast path grew a bump the reference arm lacks.
+//
+//govisor:pair slowExtra
+func (c *C) fastExtra() { // want "reference arm slowExtra does not"
+	c.Cycles++
+	c.Instret++
+}
+
+func (c *C) slowExtra() {
+	c.Instret++
+}
+
+// Negative: write-sets are transitive through same-package helpers.
+//
+//govisor:pair slowVia
+func (c *C) fastVia() {
+	c.bumpCycles()
+}
+
+func (c *C) bumpCycles() { c.Cycles++ }
+
+func (c *C) slowVia() { c.Cycles++ }
+
+// Negative: non-integer fields are outside the counter contract.
+//
+//govisor:pair slowBuf
+func (c *C) fastBuf() {
+	c.Cycles++
+	c.scratch = append(c.scratch, 0)
+}
+
+func (c *C) slowBuf() { c.Cycles++ }
+
+// Positive: a dangling pair reference is itself a finding.
+//
+//govisor:pair vanished
+func (c *C) orphan() { // want "not found"
+	c.Cycles++
+}

@@ -1,0 +1,60 @@
+package sotest
+
+var counter uint64
+
+// Flush stands in for a cross-VM barrier service.
+//
+//govisor:serialonly(delivers into every VM; barrier-only)
+func Flush() { counter++ }
+
+//govisor:serialonly(steals frames across VMs)
+func Reclaim() { counter++ }
+
+// helper gives the positive case a multi-hop path: Step → helper → Flush.
+func helper() {
+	Flush() // want "reachable from worker root"
+}
+
+// Positive: a worker root reaching a serialonly function transitively.
+//
+//govisor:worker
+func Step() {
+	helper()
+}
+
+// Negative: serial orchestration outside worker context may call freely.
+func Barrier() {
+	Flush()
+	Reclaim()
+}
+
+// Negative: a call-site //govisor:serialok edge suppression.
+//
+//govisor:worker
+func StepSuppressed() {
+	//govisor:serialok(only reached when this VM holds the barrier token)
+	Reclaim()
+}
+
+// Interface dispatch: class-hierarchy analysis must see through Dev.
+type Dev interface{ Tick() }
+
+type dev struct{}
+
+//govisor:serialonly(walks all VMs' device state)
+func (dev) Tick() { counter++ }
+
+// Positive: worker → interface method call → serialonly implementation.
+//
+//govisor:worker
+func StepDev(d Dev) {
+	d.Tick() // want "reachable from worker root"
+}
+
+// Negative: function-value calls are opaque by design (hook contracts are
+// documented, not annotated).
+//
+//govisor:worker
+func StepHook(hook func()) {
+	hook()
+}

@@ -79,6 +79,8 @@ type Controller struct {
 
 // Rebalance recomputes targets and pushes them into the device config
 // spaces; guests react by inflating/deflating on their next poll.
+//
+//govisor:serialonly(reads every VM's memory pressure and writes device config; cross-VM)
 func (c *Controller) Rebalance() {
 	targets := c.Policy.Compute(c.Pool, c.Spaces)
 	for i, t := range targets {
@@ -147,6 +149,8 @@ func (s *Swapper) Stored(g *mem.GuestPhys) int { return len(s.store[g]) }
 // preserved and restored on the next touch; without one, reclaim refuses to
 // run (dropping arbitrary page contents would corrupt the guest) unless the
 // page is still zero-filled. Returns false if nothing could be reclaimed.
+//
+//govisor:serialonly(steals frames from other VMs' address spaces; cross-VM)
 func (c *Controller) ReclaimOne() bool {
 	var victim *mem.GuestPhys
 	victimGfn := uint64(0)

@@ -207,7 +207,7 @@ func (h *Host) wakeSleepers() int {
 				if cmp > vm.CPU.Cycles {
 					vm.CPU.Cycles = cmp
 				}
-				vm.CPU.Cycles += late
+				vm.CPU.AddCycles(late)
 				delete(h.wakeAt, i)
 				delete(h.idleAt, i)
 				vm.State = StateRunning
@@ -251,6 +251,7 @@ func (h *Host) wakeSleepers() int {
 // returns false when no wake is pending — the host has nothing left to do.
 func (h *Host) advanceToNextWake() bool {
 	next := uint64(0)
+	//govisor:nondet(pure min fold over the values; result is independent of iteration order)
 	for _, at := range h.wakeAt {
 		if next == 0 || at < next {
 			next = at
@@ -272,6 +273,7 @@ func (h *Host) advanceToNextWake() bool {
 // dispatch advances the host clock by used/par, while a RunParallel lease
 // occupies its own simulated core (par 1).
 func (h *Host) clampToNextWake(quantum, par uint64) uint64 {
+	//govisor:nondet(pure clamp/min fold over the values; result is independent of iteration order)
 	for _, at := range h.wakeAt {
 		if at > h.Now {
 			if room := (at - h.Now) * par; room < quantum {

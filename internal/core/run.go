@@ -13,6 +13,8 @@ import (
 // Step runs the VM for up to budget guest cycles, dispatching VM exits.
 // It returns the number of cycles actually consumed (including VMM work
 // charged to the guest clock).
+//
+//govisor:worker
 func (vm *VM) Step(budget uint64) uint64 {
 	cpu := vm.CPU
 	start := cpu.Cycles
@@ -261,7 +263,7 @@ func (vm *VM) emulatePTWrite(gpa, gfn uint64) {
 	for _, vpn := range vm.MMUCtx.Shadow.InvalidatePTWrite(gfn) {
 		vm.MMUCtx.TLB.FlushPageAllASIDs(vpn << isa.PageShift)
 	}
-	cpu.PC += 4
+	cpu.SkipInstr()
 	cpu.AddCycles(vm.costs.Emulate)
 	vm.Stats.PTWriteEmuls++
 }
@@ -338,14 +340,14 @@ func (vm *VM) hypercall() {
 	case gabi.HCExit:
 		vm.HaltCode = uint16(a0)
 		vm.State = StateHalted
-		cpu.PC += 4
+		cpu.SkipInstr()
 		return
 
 	default:
 		ret = gabi.HCENoSys
 	}
 	cpu.SetReg(isa.RegA0, ret)
-	cpu.PC += 4
+	cpu.SkipInstr()
 }
 
 func (vm *VM) putString(gpa uint64) {

@@ -85,6 +85,8 @@ func (s *Scanner) equalFrames(a, b uint64) bool {
 // ScanVM performs one full pass over a guest's pages, merging any whose
 // content matches a previously seen canonical frame. Pages already shared
 // are skipped. It returns the number of frames freed by this pass.
+//
+//govisor:serialonly(remaps frames shared across VMs; only safe at the epoch barrier)
 func (s *Scanner) ScanVM(g *mem.GuestPhys) uint64 {
 	var freed uint64
 	before := s.pool.InUse()
@@ -135,6 +137,8 @@ func (s *Scanner) ScanVM(g *mem.GuestPhys) uint64 {
 
 // ScanAll runs one pass over every VM address space, returning total frames
 // freed.
+//
+//govisor:serialonly(remaps frames shared across VMs; only safe at the epoch barrier)
 func (s *Scanner) ScanAll(gs []*mem.GuestPhys) uint64 {
 	var freed uint64
 	for _, g := range gs {

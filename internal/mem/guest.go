@@ -178,7 +178,9 @@ func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
 		g.rmemo[i].gfn = NoFrame
 	}
 	for i := range g.wmemo {
-		g.wmemo[i].gfn = NoFrame
+		// Published atomically like every other wmemo.gfn store: a memo
+		// probe may race with construction once the GuestPhys escapes.
+		atomic.StoreUint64(&g.wmemo[i].gfn, NoFrame)
 	}
 	return g
 }

@@ -116,6 +116,8 @@ type Report struct {
 // Migrate moves the running guest in src to dst. dst must be a freshly
 // created VM (same config and devices) that has not been booted. On return
 // dst is running and src is paused.
+//
+//govisor:serialonly(drives two VMs at once; migration rounds run outside worker context)
 func Migrate(src, dst *core.VM, opt Options) (Report, error) {
 	if src.State != core.StateRunning && src.State != core.StateIdle {
 		return Report{}, fmt.Errorf("migrate: source is %v", src.State)
@@ -158,7 +160,7 @@ func sendPages(src, dst *core.VM, gfns []uint64, link Link, interleave bool, rep
 		src.Step(cycles)
 	} else {
 		// Guest paused: the time still elapses on the wall clock.
-		src.CPU.Cycles += cycles
+		src.CPU.AddCycles(cycles)
 	}
 	return cycles, nil
 }
@@ -173,6 +175,7 @@ func presentPages(vm *core.VM) []uint64 {
 	return out
 }
 
+//govisor:serialonly(migration round; touches source and destination VMs together)
 func preCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep := Report{Mode: PreCopy}
 	// Round 0: clear the dirty log and send every present page while the
@@ -218,10 +221,11 @@ func preCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep.Rounds = append(rep.Rounds, Round{Pages: uint64(len(dirty)), Cycles: c})
 
 	dst.AdoptState(src)
-	dst.CPU.Cycles += c // the destination clock absorbs the downtime
+	dst.CPU.AddCycles(c) // the destination clock absorbs the downtime
 	return rep, nil
 }
 
+//govisor:serialonly(migration round; touches source and destination VMs together)
 func stopAndCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep := Report{Mode: StopAndCopy, Converged: true}
 	src.Pause()
@@ -236,10 +240,11 @@ func stopAndCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep.DowntimeCycles = c
 	rep.TotalCycles = c
 	dst.AdoptState(src)
-	dst.CPU.Cycles += c
+	dst.CPU.AddCycles(c)
 	return rep, nil
 }
 
+//govisor:serialonly(migration round; touches source and destination VMs together)
 func postCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep := Report{Mode: PostCopy, Converged: true}
 	src.Pause()
@@ -250,7 +255,7 @@ func postCopy(src, dst *core.VM, opt Options) (Report, error) {
 	rep.DowntimeCycles = c
 	rep.TotalCycles = c
 	dst.AdoptState(src)
-	dst.CPU.Cycles += c
+	dst.CPU.AddCycles(c)
 
 	// Demand path: every not-present fault on the destination pulls the
 	// page from the source, paying RTT + transfer.

@@ -1,6 +1,8 @@
 package mmu
 
 import (
+	"sort"
+
 	"govisor/internal/isa"
 	"govisor/internal/mem"
 	"govisor/internal/tlb"
@@ -156,6 +158,10 @@ func (e *Engine) InvalidatePTWrite(gfn uint64) (flushVPNs []uint64) {
 	// Leave the write-protection armed only if some other derivation still
 	// references the page; since we dropped all of them, unprotect.
 	e.g.WriteProtect(gfn, false)
+	// The set of VPNs is determined by the derivation state, but its
+	// collection order follows map iteration; sort so callers see the same
+	// flush sequence every run.
+	sort.Slice(flushVPNs, func(i, j int) bool { return flushVPNs[i] < flushVPNs[j] })
 	return flushVPNs
 }
 
@@ -183,6 +189,7 @@ func (e *Engine) FlushSpace(root uint64) {
 // DropAll discards every space (VM reset / teardown) and releases all write
 // protection installed by the engine.
 func (e *Engine) DropAll() {
+	//govisor:nondet(per-gfn unprotect on distinct keys is idempotent and order-free)
 	for gfn := range e.ptUsers {
 		e.g.WriteProtect(gfn, false)
 	}

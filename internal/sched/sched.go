@@ -44,6 +44,8 @@ func newBase() baseScheduler {
 }
 
 // Add registers an entity.
+//
+//govisor:serialonly(mutates the shared runqueue; scheduler topology changes are barrier-only)
 func (b *baseScheduler) Add(id int, weight, capPct uint64) {
 	if weight == 0 {
 		weight = 1
@@ -68,6 +70,8 @@ func (b *baseScheduler) Add(id int, weight, capPct uint64) {
 // until EndLease so the in-flight quantum's Account still lands on live
 // state — dropping it would leave Used (fairness) and the credit/CFS global
 // accounting (periodSpent, total vruntime progress) silently short.
+//
+//govisor:serialonly(mutates the shared runqueue; scheduler topology changes are barrier-only)
 func (b *baseScheduler) Remove(id int) {
 	if b.leased[id] {
 		b.removePending[id] = true

@@ -112,6 +112,10 @@ func (c *CPU) SetReg(r uint8, v uint64) {
 // AddCycles charges VMM-side emulation work to the guest's clock.
 func (c *CPU) AddCycles(n uint64) { c.Cycles += n }
 
+// SkipInstr advances PC past a 4-byte instruction the VMM emulated on the
+// guest's behalf (MMIO, PT writes, hypercalls).
+func (c *CPU) SkipInstr() { c.PC += 4 }
+
 func (c *CPU) exit(e Exit) Exit {
 	c.Stats.Exits[e.Reason]++
 	return e
@@ -221,6 +225,8 @@ func (c *CPU) memFaultExit(va uint64, acc isa.Access, f *mem.Fault) Exit {
 // Run interprets instructions until the cycle budget is exhausted or an exit
 // condition arises. The budget is a cycle count relative to the current
 // clock.
+//
+//govisor:worker
 func (c *CPU) Run(budget uint64) Exit {
 	deadline := c.Cycles + budget
 	for {

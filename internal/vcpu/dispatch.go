@@ -285,6 +285,8 @@ func execSD(c *CPU, in isa.Inst, _ uint32) int { return c.storeExec(in, 8) }
 // superblock engine: semantics, cycle charges, fault taxonomy and statistics
 // identical to the switch arm's execLoad — any change here must land there
 // too (and vice versa); the differential suites enforce the lockstep.
+//
+//govisor:pair execLoad
 func (c *CPU) loadExec(in isa.Inst, size int, signed bool) int {
 	va := c.X[in.Rs1] + uint64(int64(in.Imm))
 	if va&uint64(size-1) != 0 {
@@ -350,6 +352,8 @@ func extendLoad(v uint64, size int, signed bool) uint64 {
 // consumer treats stSMC exactly like stOK. The memoized body lives here;
 // storeExecRef is the NoWriteMemo reference arm, byte-for-byte the PR 4
 // store path.
+//
+//govisor:pair storeExecRef
 func (c *CPU) storeExec(in isa.Inst, size int) int {
 	if c.NoWriteMemo {
 		return c.storeExecRef(in, size)

@@ -157,6 +157,7 @@ func (ic *ICache) fill(g *mem.GuestPhys, gfn uint64) {
 func (ic *ICache) evictOne() {
 	victim := mem.NoFrame
 	var vp *decodedPage
+	//govisor:nondet(total-order fold on (lastUse, gfn); victim is independent of iteration order)
 	for gfn, p := range ic.pages {
 		if vp == nil || p.lastUse < vp.lastUse || (p.lastUse == vp.lastUse && gfn < victim) {
 			victim, vp = gfn, p

@@ -135,6 +135,8 @@ loop:
 // blockLoad is the load entry for the reference (switch-dispatch) block arm:
 // the shared loadExec body behind the loadMeta width switch the threaded
 // executors resolve at decode time instead.
+//
+//govisor:pair loadExec
 func (c *CPU) blockLoad(in isa.Inst) int {
 	size, signed := loadMeta(in.Op)
 	return c.loadExec(in, size, signed)
@@ -144,6 +146,8 @@ func (c *CPU) blockLoad(in isa.Inst) int {
 // arm: the shared storeExec body (whose c.codeGfn check reports stores into
 // the executing page as stSMC) behind the storeSize width switch the
 // threaded executors resolve at decode time instead.
+//
+//govisor:pair storeExec
 func (c *CPU) blockStore(in isa.Inst) int {
 	return c.storeExec(in, storeSize(in.Op))
 }

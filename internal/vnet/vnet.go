@@ -144,6 +144,8 @@ func (s *Switch) forward(from *Port, frame []byte) {
 // (port id, send order) rather than in goroutine arrival order.
 // core.Host.RunParallel flips every switch its VMs attach to into deferred
 // mode automatically for the duration of the run.
+//
+//govisor:serialonly(flips delivery mode for every attached VM; barrier-only)
 func (s *Switch) SetDeferred(on bool) { s.deferred.Store(on) }
 
 // Deferred reports the current delivery mode.
@@ -152,6 +154,8 @@ func (s *Switch) Deferred() bool { return s.deferred.Load() }
 // Flush forwards every queued frame, walking ports in id order. It must be
 // called from the epoch barrier (or any other single-threaded context) and
 // returns the number of frames delivered to the switch.
+//
+//govisor:serialonly(delivers into every attached VM's RX ring; barrier-only)
 func (s *Switch) Flush() int {
 	s.mu.Lock()
 	ports := append([]*Port(nil), s.ports...)
