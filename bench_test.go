@@ -69,6 +69,7 @@ func BenchmarkM2_ParallelFleet(b *testing.B)  { runExperiment(b, "M2") }
 func BenchmarkM3_Superblocks(b *testing.B)    { runExperiment(b, "M3") }
 func BenchmarkM4_Dispatch(b *testing.B)       { runExperiment(b, "M4") }
 func BenchmarkM5_WriteMemo(b *testing.B)      { runExperiment(b, "M5") }
+func BenchmarkM6_BlockChain(b *testing.B)     { runExperiment(b, "M6") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

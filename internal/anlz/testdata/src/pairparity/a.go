@@ -3,6 +3,7 @@ package pptest
 type C struct {
 	Cycles  uint64
 	Instret uint64
+	misses  uint64
 	scratch []byte
 }
 
@@ -63,6 +64,40 @@ func (c *C) fastBuf() {
 }
 
 func (c *C) slowBuf() { c.Cycles++ }
+
+// Negative: the snapshot-replay shape (ChainFetch/ReplayFetch) — the fast
+// arm's bumps sit behind early-return validation checks, but the write-set
+// is flow-insensitive, so parity with the unconditional reference holds.
+//
+//govisor:pair slowReplay
+func (c *C) fastReplay(ok bool) bool {
+	if !ok {
+		return false
+	}
+	c.Cycles++
+	c.Instret++
+	return true
+}
+
+func (c *C) slowReplay() {
+	c.Instret++
+	c.Cycles++
+}
+
+// Positive: a guarded replay arm whose failure path stamps telemetry the
+// reference arm lacks — counters must be bumped at the call site instead.
+//
+//govisor:pair slowGuarded
+func (c *C) fastGuarded(ok bool) bool { // want "reference arm slowGuarded does not"
+	if !ok {
+		c.misses++
+		return false
+	}
+	c.Cycles++
+	return true
+}
+
+func (c *C) slowGuarded() { c.Cycles++ }
 
 // Positive: a dangling pair reference is itself a finding.
 //

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"govisor/internal/core"
+	"govisor/internal/guest"
+	"govisor/internal/metrics"
+)
+
+// M6BlockChain: host-side interpreter throughput with cross-page superblock
+// continuation and block chaining on vs off (icache, superblocks, threaded
+// dispatch and the write memo stay on in both arms, so the comparison
+// isolates the chaining layer on top of PR 3/4/5). Guest cycles and retired
+// instructions must be byte-identical in both configurations — enforced
+// below, and proven in full by the differential suites in internal/vcpu and
+// internal/guest — while host nanoseconds per guest instruction drop. The
+// workloads are the layer's target shapes: an unrolled ALU body longer than
+// a code page (every iteration's block run crosses page boundaries mid-run)
+// and a short loop parked across a boundary (the unchained arm pays a full
+// fetch translation and icache lookup at the boundary and the back edge of
+// every iteration). Only the RunToHalt phase is timed, after a warm-up run
+// per configuration; the chained arm's rows also report the chain-cache
+// counters, which are deterministic in a serial run.
+func M6BlockChain() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{
+		"mode", "workload", "config", "guest instrs", "guest cycles", "host ns/instr", "speedup", "chain",
+	}}
+
+	type stream struct {
+		kind   guest.StreamKind
+		iters  uint64
+		unroll uint64
+	}
+	streams := []stream{
+		{guest.StreamXPageALU, scaled(8000), 2200},
+		{guest.StreamXPageLoop, scaled(900000), 12},
+	}
+
+	for _, mode := range []core.Mode{core.ModeNative, core.ModeHW} {
+		for _, s := range streams {
+			img, err := guest.BuildStreamProgram(s.kind, s.iters, s.unroll)
+			if err != nil {
+				return nil, err
+			}
+			type result struct {
+				vm     *core.VM
+				hostNs float64
+			}
+			run := func(noChain bool) (result, error) {
+				vm, err := newVM(mode, func(c *core.Config) { c.NoBlockChain = noChain })
+				if err != nil {
+					return result{}, err
+				}
+				if err := vm.Boot(img); err != nil {
+					return result{}, err
+				}
+				start := time.Now()
+				st := vm.RunToHalt(benchBudget)
+				elapsed := float64(time.Since(start).Nanoseconds())
+				if st != core.StateHalted || vm.HaltCode != 0 {
+					return result{}, fmt.Errorf("bench: M6 %v/%v guest ended %v halt %#x",
+						mode, s.kind, st, vm.HaltCode)
+				}
+				return result{vm, elapsed}, nil
+			}
+			// Warm both configurations before measuring.
+			for _, warm := range []bool{true, false} {
+				if _, err := run(warm); err != nil {
+					return nil, err
+				}
+			}
+			off, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			on, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			// The transparency property, enforced at benchmark time.
+			if on.vm.CPU.Cycles != off.vm.CPU.Cycles || on.vm.CPU.Instret != off.vm.CPU.Instret {
+				return nil, fmt.Errorf("bench: block chaining is not invisible: on (cyc=%d ret=%d) off (cyc=%d ret=%d)",
+					on.vm.CPU.Cycles, on.vm.CPU.Instret, off.vm.CPU.Cycles, off.vm.CPU.Instret)
+			}
+			ic := on.vm.CPU.ICache.Stats
+			instrs := float64(on.vm.CPU.Instret)
+			nsOff := off.hostNs / instrs
+			nsOn := on.hostNs / instrs
+			t.AddRow(mode.String(), s.kind.String(), "reference", fmt.Sprintf("%.0f", instrs),
+				fmt.Sprint(off.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOff), "1.00x", "-")
+			t.AddRow(mode.String(), s.kind.String(), "chained", fmt.Sprintf("%.0f", instrs),
+				fmt.Sprint(on.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOn),
+				fmt.Sprintf("%.2fx", nsOff/nsOn),
+				fmt.Sprintf("%d hits / %d crossings", ic.ChainHits, ic.Crossings))
+		}
+	}
+	return t, nil
+}

@@ -61,5 +61,7 @@ func All() []Experiment {
 			"≥1.2× lower host ns/guest-instr on the ALU stream vs the dispatch switch with identical guest cycles (decode-time executor resolution is architecturally invisible)"},
 		{"M5", "Simulator: write-path memoization engine", M5WriteMemo,
 			"≥1.5× lower host ns/guest-instr on the store-dense stream vs per-store resolution with identical guest cycles and dirty accounting (the write memo is architecturally invisible)"},
+		{"M6", "Simulator: cross-page superblocks and block chaining", M6BlockChain,
+			"≥1.2× lower host ns/guest-instr on the cross-page streams vs NoBlockChain with identical guest cycles (chaining is architecturally invisible)"},
 	}
 }

@@ -142,6 +142,14 @@ type Config struct {
 	// exists for the differential transparency tests and the M5 write-memo
 	// benchmark.
 	NoWriteMemo bool
+	// NoBlockChain pins block entry to the unchained reference arm: no
+	// cross-page superblock continuation and no recorded block→successor
+	// links; every block entry repeats the full fetch translation and
+	// icache lookup — same invisibility contract; the arm exists for the
+	// differential transparency tests and the M6 chaining benchmark.
+	// NoICache and NoSuperblocks each imply no chaining (links live in
+	// predecoded pages and anchor at block boundaries).
+	NoBlockChain bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -263,6 +271,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 	cpu.NoSuperblocks = cfg.NoSuperblocks
 	cpu.NoThreadedDispatch = cfg.NoThreadedDispatch
 	cpu.NoWriteMemo = cfg.NoWriteMemo
+	cpu.NoBlockChain = cfg.NoBlockChain || cfg.NoSuperblocks || cfg.NoICache
 
 	vm := &VM{
 		Name:        cfg.Name,

@@ -1,0 +1,253 @@
+package guest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"govisor/internal/asm"
+	"govisor/internal/core"
+	"govisor/internal/gabi"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/sched"
+)
+
+// Cross-page control-flow torture: randomized standalone guests whose blocks
+// straddle page boundaries, whose terminators (taken and not-taken branches,
+// jumps, fallthroughs) land on both sides of boundaries, and whose bodies
+// store into a successor code page (SMC) and flush the TLB between chained
+// blocks — every invalidation rule of the chain cache on one instruction
+// stream. The differential matrix below proves the chaining layer (and its
+// composition with every other fast path) architecturally invisible on it.
+
+// chainArms are the fast-path toggles the matrix composes: each alone, the
+// pairs that interact (chaining rides on superblocks and the block bodies
+// route through threaded dispatch and the write memo), and everything off.
+var chainArms = []struct {
+	name  string
+	tweak func(*core.Config)
+}{
+	{"no-chain", func(c *core.Config) { c.NoBlockChain = true }},
+	{"no-superblocks", func(c *core.Config) { c.NoSuperblocks = true }},
+	{"no-threaded", func(c *core.Config) { c.NoThreadedDispatch = true }},
+	{"no-writememo", func(c *core.Config) { c.NoWriteMemo = true }},
+	{"no-chain-no-threaded", func(c *core.Config) { c.NoBlockChain = true; c.NoThreadedDispatch = true }},
+	{"no-superblocks-no-writememo", func(c *core.Config) { c.NoSuperblocks = true; c.NoWriteMemo = true }},
+	{"interpreter", func(c *core.Config) {
+		c.NoBlockChain = true
+		c.NoSuperblocks = true
+		c.NoThreadedDispatch = true
+		c.NoWriteMemo = true
+	}},
+}
+
+// buildChainTorture assembles one randomized cross-page guest. The layout is
+// seed-deterministic: a loop over segments whose bodies are padded to
+// straddle page boundaries, terminated by a random mix of fallthroughs,
+// always-taken branches, never-taken branches (the armed-but-fallthrough
+// chain case) and jumps; one segment holds a patchable slot a later
+// iteration overwrites in place (SMC into a chained page), and every few
+// iterations the loop tail runs SFENCE.VMA so live chain links go stale
+// under the TLB-generation check.
+func buildChainTorture(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder(gabi.KernelBase)
+	b.Mv(isa.RegS11, isa.RegA0)
+	emitTrapStub(b)
+
+	loadParam(b, isa.RegT0, gabi.PSatp)
+	b.Csrw(isa.CSRSatp, isa.RegT0)
+	b.SfenceVMA(isa.RegZero, isa.RegZero)
+
+	// Data page for the load/store mix (identity-mapped heap).
+	loadParam(b, isa.RegS1, gabi.PHeapBase)
+	b.I(isa.OpSLLI, isa.RegS1, isa.RegS1, isa.PageShift)
+
+	iters := uint64(40 + rng.Intn(24))
+	b.Li(isa.RegS0, iters)
+	b.Li(isa.RegS2, 0) // ascending iteration index
+
+	seg := func(i int) string { return fmt.Sprintf("seg%d", i) }
+	nseg := 6 + rng.Intn(4)
+	patchSeg := rng.Intn(nseg)
+
+	b.Label("top")
+	for i := 0; i < nseg; i++ {
+		b.Label(seg(i))
+		// Park roughly half the segments just below a page boundary so the
+		// body enters on one page and retires across it.
+		if rng.Intn(2) == 0 {
+			next := (b.PC() + isa.PageSize) &^ uint64(isa.PageSize-1)
+			lead := uint64(2+rng.Intn(8)) * 4
+			for b.PC()+lead < next {
+				b.Nop()
+			}
+		}
+		for k, blen := 0, 8+rng.Intn(24); k < blen; k++ {
+			switch rng.Intn(6) {
+			case 0:
+				b.I(isa.OpADDI, isa.RegA0, isa.RegA0, int64(1+rng.Intn(7)))
+			case 1:
+				b.R(isa.OpXOR, isa.RegA1, isa.RegA1, isa.RegA0)
+			case 2:
+				b.R(isa.OpADD, isa.RegA2, isa.RegA2, isa.RegA1)
+			case 3:
+				b.I(isa.OpSLLI, isa.RegA3, isa.RegA2, int64(1+rng.Intn(3)))
+			case 4:
+				b.Load(isa.OpLD, isa.RegT1, isa.RegS1, int64(rng.Intn(64))*8)
+			case 5:
+				b.Store(isa.OpSD, isa.RegA2, isa.RegS1, int64(rng.Intn(64))*8)
+			}
+		}
+		if i == patchSeg {
+			b.Label("patch_slot")
+			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+		switch rng.Intn(4) {
+		case 0: // fallthrough into the next segment
+		case 1: // always taken: s0 is nonzero until the loop tail retires it
+			b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, seg(i+1))
+		case 2: // never taken: arms a chain source, then falls through
+			b.Branch(isa.OpBEQ, isa.RegS0, isa.RegZero, seg(i+1))
+		case 3:
+			b.J(seg(i + 1))
+		}
+	}
+	b.Label(seg(nseg))
+
+	// SMC: halfway through the run, rewrite the patch slot in place
+	// (+1 becomes +3), invalidating its page's decoded image and every
+	// chain link into it.
+	b.Li(isa.RegT0, iters/2)
+	b.Branch(isa.OpBNE, isa.RegS2, isa.RegT0, "no_smc")
+	b.La(isa.RegT3, "patch_slot")
+	b.Li(isa.RegT2, uint64(isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 3})))
+	b.Store(isa.OpSW, isa.RegT2, isa.RegT3, 0)
+	b.Label("no_smc")
+
+	// Every 8th iteration: full TLB flush between chained blocks, so links
+	// recorded before it fail the generation check and re-resolve.
+	b.I(isa.OpANDI, isa.RegT0, isa.RegS2, 7)
+	b.Branch(isa.OpBNE, isa.RegT0, isa.RegZero, "no_flush")
+	b.SfenceVMA(isa.RegZero, isa.RegZero)
+	b.Label("no_flush")
+
+	b.I(isa.OpADDI, isa.RegS2, isa.RegS2, 1)
+	b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+	b.Branch(isa.OpBEQ, isa.RegS0, isa.RegZero, "done")
+	b.J("top") // back edge: JAL reaches across the multi-page body
+	b.Label("done")
+	b.Halt(0)
+	emitTrapStubBody(b)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return img
+}
+
+// bootChainTorture boots one torture image standalone and runs it to halt.
+func bootChainTorture(t *testing.T, mode core.Mode, img []byte, tweak func(*core.Config)) *core.VM {
+	t.Helper()
+	cfg := core.Config{Name: "chain-" + mode.String(), Mode: mode, MemBytes: testRAM}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	vm, err := core.NewVM(mem.NewPool(2*testRAM>>isa.PageShift), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Boot(img); err != nil {
+		t.Fatal(err)
+	}
+	if st := vm.RunToHalt(runBudget); st != core.StateHalted {
+		t.Fatalf("[%v] final state %v (err=%v, pc=%#x)", mode, st, vm.Err, vm.CPU.PC)
+	}
+	if vm.HaltCode != 0 {
+		t.Fatalf("[%v] guest panicked: halt=%#x", mode, vm.HaltCode)
+	}
+	return vm
+}
+
+// TestDifferentialBlockChainInvisible is the serial transparency proof for
+// cross-page superblocks and block chaining: on randomized cross-page
+// control-flow guests, the full fast-path stack must be indistinguishable
+// from every arm combination — cycles, instret, registers, CSRs, UART,
+// result slots, guest RAM, and every VMM/MMU/TLB statistic.
+func TestDifferentialBlockChainInvisible(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		img := buildChainTorture(t, seed)
+		for _, mode := range []core.Mode{core.ModeNative, core.ModeHW} {
+			t.Run(fmt.Sprintf("%v/seed%d", mode, seed), func(t *testing.T) {
+				base := bootChainTorture(t, mode, img, nil)
+				// The proof has teeth only if the baseline actually chained.
+				ic := base.CPU.ICache.Stats
+				if ic.Crossings == 0 || ic.ChainHits == 0 {
+					t.Fatalf("baseline never chained: %+v", ic)
+				}
+				for _, arm := range chainArms {
+					ref := bootChainTorture(t, mode, img, arm.tweak)
+					compareVMs(t, arm.name, ref, base, true)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialBlockChainParallel extends the proof to the parallel
+// engine: a fleet of torture guests (distinct seeds) run under RunParallel
+// must be byte-identical with chaining on or off at every worker count 1..4,
+// including host clock and pool occupancy.
+func TestDifferentialBlockChainParallel(t *testing.T) {
+	imgs := [][]byte{
+		buildChainTorture(t, 101),
+		buildChainTorture(t, 202),
+		buildChainTorture(t, 303),
+		buildChainTorture(t, 404),
+	}
+	build := func(tweak func(*core.Config)) *core.Host {
+		h := core.NewHost(16<<20>>isa.PageShift, 2, sched.NewCredit())
+		for i, img := range imgs {
+			cfg := core.Config{Name: fmt.Sprintf("chain%d", i), Mode: core.ModeHW, MemBytes: testRAM}
+			if tweak != nil {
+				tweak(&cfg)
+			}
+			vm, err := h.CreateVM(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := vm.Boot(img); err != nil {
+				t.Fatal(err)
+			}
+			h.AddToScheduler(i, 256, 0)
+		}
+		return h
+	}
+
+	ref := build(func(c *core.Config) { c.NoBlockChain = true })
+	runFleetParallel(t, ref, 1)
+
+	for workers := 1; workers <= 4; workers++ {
+		h := build(nil)
+		runFleetParallel(t, h, workers)
+		if h.Now != ref.Now {
+			t.Errorf("w=%d: host clock %d != %d", workers, h.Now, ref.Now)
+		}
+		if h.Pool.InUse() != ref.Pool.InUse() {
+			t.Errorf("w=%d: pool occupancy %d != %d", workers, h.Pool.InUse(), ref.Pool.InUse())
+		}
+		chained := false
+		for i := range h.VMs {
+			compareVMs(t, fmt.Sprintf("chain w=%d vm=%s", workers, h.VMs[i].Name),
+				ref.VMs[i], h.VMs[i], true)
+			if st := h.VMs[i].CPU.ICache.Stats; st.Crossings > 0 && st.ChainHits > 0 {
+				chained = true
+			}
+		}
+		if !chained {
+			t.Errorf("w=%d: no VM ever chained a block", workers)
+		}
+	}
+}

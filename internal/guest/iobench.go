@@ -247,11 +247,20 @@ func BuildRegNICProgram(frames, frameLen uint64) ([]byte, error) {
 	b.Label("frame_loop")
 	b.Li(isa.RegT1, frameLen)
 	b.Store(isa.OpSD, isa.RegT1, isa.RegT0, dev.RegNICTxLen)
-	b.Li(isa.RegT2, words)
+	// Ethernet header first (two words): broadcast dst plus a fixed
+	// locally-administered unicast src 02:00:00:00:00:01, so the switch
+	// floods every frame instead of filtering it as a hairpin.
+	b.Li(isa.RegT3, 0x0002FFFFFFFFFFFF)
+	b.Store(isa.OpSD, isa.RegT3, isa.RegT0, dev.RegNICTxData)
+	b.Li(isa.RegT3, 0x0000000001000000)
+	b.Store(isa.OpSD, isa.RegT3, isa.RegT0, dev.RegNICTxData)
+	b.Li(isa.RegT2, words-2)
+	b.Branch(isa.OpBEQ, isa.RegT2, isa.RegZero, "words_done")
 	b.Label("word_loop")
 	b.Store(isa.OpSD, isa.RegS0, isa.RegT0, dev.RegNICTxData)
 	b.I(isa.OpADDI, isa.RegT2, isa.RegT2, -1)
 	b.Branch(isa.OpBNE, isa.RegT2, isa.RegZero, "word_loop")
+	b.Label("words_done")
 	b.Store(isa.OpSD, isa.RegT1, isa.RegT0, dev.RegNICTxSend)
 	b.I(isa.OpADDI, isa.RegS0, isa.RegS0, 1)
 	b.Branch(isa.OpBLTU, isa.RegS0, isa.RegS1, "frame_loop")
@@ -302,8 +311,15 @@ func BuildVirtioNetProgram(frames, batch, frameLen uint64, slot int) ([]byte, er
 	b.R(isa.OpMUL, isa.RegT4, isa.RegS4, isa.RegT3)
 	b.Li(isa.RegT3, ioDataBase)
 	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT3)
-	// Stamp the frame's first payload word so the switch sees fresh bytes.
-	b.Store(isa.OpSD, isa.RegS0, isa.RegT4, 16) // 8-byte-aligned, inside the payload
+	// Ethernet header past the 12-byte virtio-net header: broadcast dst
+	// plus a fixed locally-administered unicast src 02:00:00:00:00:01
+	// (the switch floods every frame instead of filtering it as a
+	// hairpin), then stamp a payload word so the switch sees fresh bytes.
+	b.Li(isa.RegT5, 0xFFFFFFFF00000000)
+	b.Store(isa.OpSD, isa.RegT5, isa.RegT4, 8)
+	b.Li(isa.RegT5, 0x010000000002FFFF)
+	b.Store(isa.OpSD, isa.RegT5, isa.RegT4, 16)
+	b.Store(isa.OpSD, isa.RegS0, isa.RegT4, 24)
 	b.Store(isa.OpSD, isa.RegT4, isa.RegT2, 0)
 	b.Li(isa.RegT5, bufLen)
 	b.Store(isa.OpSW, isa.RegT5, isa.RegT2, 8)

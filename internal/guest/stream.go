@@ -32,6 +32,16 @@ const (
 	// pattern — the balance of a data-churning loop, exercising the read
 	// and write fast paths together.
 	StreamMixed
+	// StreamXPageALU is the ALU mix with an unrolled body longer than a
+	// code page, so every iteration's superblock must cross page
+	// boundaries mid-run — the M6 cross-page continuation target shape.
+	StreamXPageALU
+	// StreamXPageLoop is a short ALU body deliberately positioned to
+	// straddle a page boundary: each iteration enters on one page, crosses,
+	// and branches back, so the baseline pays a full fetch translation and
+	// icache lookup at the boundary and the back edge every time — the M6
+	// block-chaining target shape.
+	StreamXPageLoop
 )
 
 // String names the kind.
@@ -43,6 +53,10 @@ func (k StreamKind) String() string {
 		return "store-stream"
 	case StreamMixed:
 		return "mixed-stream"
+	case StreamXPageALU:
+		return "xpage-alu-stream"
+	case StreamXPageLoop:
+		return "xpage-loop-stream"
 	}
 	return "alu-stream"
 }
@@ -53,8 +67,15 @@ func (k StreamKind) String() string {
 // loop tail fits one code page for unroll ≤ 1000, so each iteration is one
 // superblock entry plus a terminator.
 func BuildStreamProgram(kind StreamKind, iters, unroll uint64) ([]byte, error) {
-	if unroll == 0 || unroll > 1000 {
-		return nil, fmt.Errorf("guest: stream unroll %d out of range (1..1000)", unroll)
+	// The cross-page ALU kind exists to exceed a page, so its body may be
+	// up to 4000 instructions (16 KB, still well inside branch reach); the
+	// boundary-straddling loop must not span more than two pages.
+	maxUnroll := uint64(1000)
+	if kind == StreamXPageALU {
+		maxUnroll = 4000
+	}
+	if unroll == 0 || unroll > maxUnroll {
+		return nil, fmt.Errorf("guest: stream unroll %d out of range (1..%d)", unroll, maxUnroll)
 	}
 	b := asm.NewBuilder(gabi.KernelBase)
 	b.Mv(isa.RegS11, isa.RegA0) // param base
@@ -72,6 +93,15 @@ func BuildStreamProgram(kind StreamKind, iters, unroll uint64) ([]byte, error) {
 	b.I(isa.OpADDI, isa.RegS2, isa.RegS1, isa.PageSize)
 
 	b.Li(isa.RegS0, iters)
+	if kind == StreamXPageLoop {
+		// Park the loop entry half a body below the next page boundary so
+		// every iteration straddles it: enter on one page, cross mid-block,
+		// branch back from the next.
+		next := (b.PC() + isa.PageSize) &^ uint64(isa.PageSize-1)
+		for b.PC()+unroll/2*4 < next {
+			b.Nop()
+		}
+	}
 	b.Label("stream_loop")
 	switch kind {
 	case StreamCopy:
@@ -111,6 +141,10 @@ func BuildStreamProgram(kind StreamKind, iters, unroll uint64) ([]byte, error) {
 			}
 		}
 	default:
+		// StreamALU, and the two cross-page kinds, share the ALU mix: the
+		// cross-page variants differ only in body length (StreamXPageALU
+		// exceeds a page) or placement (StreamXPageLoop straddles a
+		// boundary, positioned above).
 		for i := uint64(0); i < unroll; i++ {
 			switch i % 4 {
 			case 0:

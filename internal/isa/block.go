@@ -27,6 +27,20 @@ func IsStore(op Op) bool {
 // IsMemOp reports whether op accesses data memory (load or store).
 func IsMemOp(op Op) bool { return IsLoad(op) || IsStore(op) }
 
+// IsChainSource reports whether op may anchor a block-chain link: pure
+// control transfers that always retire with the PC redirected and touch
+// nothing but registers (branches, JAL, JALR). System terminators — ECALL,
+// EBREAK, SRET, WFI, CSR ops, SFENCE, HALT — are excluded: they can trap,
+// exit to the VMM, or change privilege/translation state, so their successor
+// fetch context is not worth caching.
+func IsChainSource(op Op) bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU, OpJAL, OpJALR:
+		return true
+	}
+	return false
+}
+
 // IsBlockStraight reports whether op can appear inside a superblock: on its
 // non-trapping path it retires with PC advancing to the next word and cannot
 // alter control flow, privilege, CSRs, or translation state, and never

@@ -268,6 +268,61 @@ func (c *Context) TranslateFetch(va uint64, userMode bool) (gpa uint64, refs int
 	}
 }
 
+// FetchSnap is an exported snapshot of the fetch memo, the validation token
+// of the vCPU's block-chain cache: taken (SnapFetch) right after a successful
+// TranslateFetch of a block's first instruction, and later replayed
+// (ChainFetch) to re-enter that block without the map lookup and TLB set
+// scan. The fields mirror fetchMemo exactly; validity is proven per replay,
+// never assumed.
+type FetchSnap struct {
+	valid bool
+	paged bool
+	user  bool
+	satp  uint64
+	vpn   uint64
+	gen   uint64
+	entry *tlb.Entry
+	ppn   uint64
+}
+
+// SnapFetch captures the current fetch memo. Meaningful immediately after a
+// successful TranslateFetch, when the memo covers that fetch's page; the
+// snapshot stays safe to hold indefinitely because ChainFetch revalidates
+// every field before replaying it.
+func (c *Context) SnapFetch() FetchSnap { return FetchSnap(c.fetch) }
+
+// ChainFetch replays the accounting of an instruction fetch of va from a
+// previously snapshotted translation: the block-chain sibling of
+// ReplayFetch. It succeeds only when the snapshot provably still describes
+// what a fresh TranslateFetch(va) would do — same SATP (same address space
+// and paging mode), same privilege, same virtual page, and no TLB insert or
+// flush since the snapshot (TLB generation unchanged, so the entry, its
+// permissions and the fill-time permission check all still stand). On
+// success it performs exactly the bookkeeping of a fetch-memo miss that hits
+// the TLB — translation count, LRU stamp, TLB hit count — and installs the
+// snapshot as the live fetch memo, so in-block ReplayFetch continues on the
+// chained page. On failure it performs nothing and the caller must take the
+// full fetch path.
+//
+//govisor:pair ReplayFetch
+func (c *Context) ChainFetch(s *FetchSnap, va uint64, userMode bool) bool {
+	if !s.valid || c.Satp != s.satp || userMode != s.user || va>>isa.PageShift != s.vpn {
+		return false
+	}
+	if !s.paged {
+		c.Stats.Translations++
+		c.fetch = fetchMemo(*s)
+		return true
+	}
+	if c.TLB.Gen() != s.gen {
+		return false
+	}
+	c.Stats.Translations++
+	c.TLB.Touch(s.entry)
+	c.fetch = fetchMemo(*s)
+	return true
+}
+
 // ReplayFetch replays the accounting of one more instruction fetch from the
 // virtual page the fetch memo currently covers — the superblock engine's
 // per-instruction fetch, where the block entry already performed the real

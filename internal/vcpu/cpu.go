@@ -78,6 +78,17 @@ type CPU struct {
 	// isolating the write-memo win in benchmark M5.
 	NoWriteMemo bool
 
+	// NoBlockChain pins block entry to the unchained reference arm: every
+	// superblock ends at its page boundary and every block entry repeats
+	// the full TranslateFetch + icache map lookup, instead of consuming
+	// recorded chain links (icache.go) that revalidate the memoized
+	// translation via mmu.ChainFetch — replaying its exact bookkeeping —
+	// and let superblocks continue across page boundaries (superblock.go).
+	// Chaining is architecturally invisible like the engines above; this
+	// arm is the differential reference for the transparency tests and
+	// isolates the chaining win in benchmark M6.
+	NoBlockChain bool
+
 	// pendExit carries the rare Exit out of the threaded executors and the
 	// superblock engine so the per-instruction status stays a small int
 	// (see dispatch.go).
@@ -90,6 +101,21 @@ type CPU struct {
 	// executor like every other instruction; outside blocks the sentinel
 	// never matches and the status is plain stOK.
 	codeGfn uint64
+
+	// Block-chain arm state: when a chain source retires — a pure
+	// control-transfer terminator (isa.IsChainSource) or the page-boundary
+	// pseudo-terminator of a superblock — the source slot is parked here.
+	// The next fetch either consumes a matching recorded link (skipping the
+	// icache map lookup and replaying the memoized translation exactly) or
+	// records a fresh link from the real fetch it performs instead. Stale
+	// armed state — left over from a trap, interrupt or VM exit landing
+	// between arm and fetch — is harmless: consumption proves the link
+	// exact (successor PC, page version, translation snapshot) before use,
+	// and a mismatched record just parks a latest-wins link that will not
+	// validate until the observed successor recurs.
+	chainPage  *decodedPage
+	chainSlot  uint16
+	chainArmed bool
 
 	Stats Stats
 }
@@ -261,22 +287,61 @@ func (c *CPU) Run(budget uint64) Exit {
 		var raw uint32
 		var fn execFn
 		if ic := c.ICache; ic != nil {
-			gpa, ex, ok := c.fetchTranslate(c.PC)
-			if !ok {
-				if ex.Reason == ExitNone {
-					continue
+			var p *decodedPage
+			var i, gfn, gpa uint64
+			var recSrc *decodedPage
+			var recSlot uint16
+			if c.chainArmed {
+				src, slot := c.chainPage, c.chainSlot
+				c.chainArmed = false
+				if !c.NoBlockChain {
+					// Chain consume: a link recorded for the slot that just
+					// redirected control proves this fetch's outcome — the
+					// observed successor PC recurs, the target page's content
+					// version is unchanged, and the translation snapshot
+					// revalidates (SATP, privilege, TLB generation) via
+					// ChainFetch, which replays exactly the bookkeeping the
+					// real TranslateFetch below would perform — so the map
+					// lookup and full translation are skipped.
+					if l := src.chainAt(slot); l != nil && l.pc == c.PC &&
+						c.Mem.PageVersion(l.gfn) == l.page.ver &&
+						c.MMU.ChainFetch(&l.snap, c.PC, c.Priv == PrivU) {
+						p, i, gfn = l.page, uint64(l.tslot), l.gfn
+						ic.noteChainHit(gfn, p)
+					} else {
+						ic.Stats.ChainMisses++
+						recSrc, recSlot = src, slot
+					}
 				}
-				return ex
 			}
-			if p := ic.lookup(c.Mem, gpa>>isa.PageShift); p != nil {
-				i := (gpa & isa.PageMask) >> 2
+			if p == nil {
+				var ex Exit
+				var ok bool
+				gpa, ex, ok = c.fetchTranslate(c.PC)
+				if !ok {
+					if ex.Reason == ExitNone {
+						continue
+					}
+					return ex
+				}
+				gfn = gpa >> isa.PageShift
+				i = (gpa & isa.PageMask) >> 2
+				p = ic.lookup(c.Mem, gfn)
+				if p != nil && recSrc != nil {
+					// Chain record: the real fetch just resolved the armed
+					// slot's successor; park it with the translation
+					// snapshot, latest-wins.
+					ic.setChain(recSrc, recSlot, c.PC, p, gfn, uint16(i), c.MMU.SnapFetch())
+				}
+			}
+			if p != nil {
 				// Superblock dispatch: a straight-line run of ≥2 decoded
 				// instructions executes as one unit when no event boundary
 				// (quantum, timer latch, interrupt window) can land inside
 				// its cycle span; otherwise fall through to the exact
 				// per-instruction path below.
 				if !c.NoSuperblocks && p.blkLen[i] > 1 {
-					ex, done, dispatched := c.runBlock(p, i, gpa>>isa.PageShift, deadline)
+					ex, done, dispatched := c.runBlock(p, i, gfn, deadline)
 					if dispatched {
 						if done {
 							return ex
@@ -295,6 +360,13 @@ func (c *CPU) Run(budget uint64) Exit {
 					p.valid[i>>6] |= 1 << (i & 63)
 				}
 				in, raw, fn = p.ins[i], p.raw[i], p.fn[i]
+				if !c.NoBlockChain && isa.IsChainSource(in.Op) {
+					// Arm the slot so the post-redirect fetch can consume or
+					// record its chain link. Chain sources never trap and
+					// never exit, so the arm is consumed on the very next
+					// loop iteration in the common case.
+					c.chainPage, c.chainSlot, c.chainArmed = p, uint16(i), true
+				}
 			} else {
 				word, e, st := c.fetchWord(gpa)
 				if st == fetchExit {
@@ -306,7 +378,10 @@ func (c *CPU) Run(budget uint64) Exit {
 				raw = uint32(word)
 				in = isa.Decode(raw)
 				fn = execTable.For(in.Op)
-				ic.fill(c.Mem, gpa>>isa.PageShift)
+				ic.fill(c.Mem, gfn)
+				if recSrc != nil {
+					ic.setChain(recSrc, recSlot, c.PC, ic.cur, gfn, uint16(i), c.MMU.SnapFetch())
+				}
 			}
 		} else {
 			gpa, ex, ok := c.translate(c.PC, isa.AccExec)

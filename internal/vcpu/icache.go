@@ -6,6 +6,7 @@ import (
 	"govisor/internal/isa"
 	"govisor/internal/mem"
 	"govisor/internal/metrics"
+	"govisor/internal/mmu"
 )
 
 // instPerPage is how many 32-bit instruction slots one guest page holds.
@@ -36,13 +37,38 @@ const maxCachedPages = 1024
 // single-instruction path.
 type decodedPage struct {
 	ver     uint64 // mem.GuestPhys.PageVersion at fill time
-	lastUse uint64 // ICache tick at fill / last transition to MRU, for eviction
+	lastUse uint64 // ICache tick at last hit, for eviction
 	valid   [instPerPage / 64]uint64
 	ins     [instPerPage]isa.Inst
 	fn      [instPerPage]execFn
 	raw     [instPerPage]uint32
 	blkLen  [instPerPage]uint16
 	blkMem  [instPerPage]uint16
+	chain   [chainSlots]chainLink
+}
+
+// chainSlots sizes the per-page block-chain table, direct-mapped on the low
+// bits of the source slot. Chain sources are sparse — one back-edge per loop
+// plus the page-boundary fallthrough — so a small table covers the hot
+// successors while bounding the per-page footprint.
+const chainSlots = 32
+
+// chainLink caches the resolved successor of one chain source: the slot of
+// a control-transfer terminator, or the page-boundary pseudo-terminator
+// (slot instPerPage-1 of a page whose last instruction is straight-line).
+// A link is a pure host-side hint. Consumption proves it exact first: the
+// observed successor PC must recur, the target page's content version must
+// match, and the translation snapshot must revalidate (SATP, privilege, TLB
+// generation) via mmu.Context.ChainFetch — the same counters that guard the
+// fetch memo and the icache itself. Stale links are overwritten latest-wins.
+type chainLink struct {
+	valid bool
+	slot  uint16 // source slot (direct-mapped tag)
+	tslot uint16 // target slot within the successor page
+	pc    uint64 // successor virtual PC observed at record time
+	gfn   uint64 // successor guest-physical page
+	page  *decodedPage
+	snap  mmu.FetchSnap
 }
 
 // The lazy slot decode (check valid bit, isa.Decode on first touch) lives
@@ -58,6 +84,10 @@ type ICacheStats struct {
 	Invalidations uint64 // fetches that found a stale cached page
 	Predecodes    uint64 // pages (re)filled; slot decode is lazy on top
 	Evictions     uint64 // pages dropped to stay under maxCachedPages
+	ChainHits     uint64 // block entries served from a validated chain link
+	ChainMisses   uint64 // chain consults that found no link or a stale one
+	ChainResolves uint64 // links recorded or refreshed
+	Crossings     uint64 // superblocks continued across a page boundary
 }
 
 // ICache is the decoded-instruction block cache on the interpreter's fetch
@@ -97,8 +127,6 @@ func (ic *ICache) lookup(g *mem.GuestPhys, gfn uint64) *decodedPage {
 			return nil
 		}
 		ic.curGfn, ic.cur = gfn, p
-		ic.tick++
-		p.lastUse = ic.tick
 	}
 	if p.ver != g.PageVersion(gfn) {
 		ic.Stats.Invalidations++
@@ -106,8 +134,44 @@ func (ic *ICache) lookup(g *mem.GuestPhys, gfn uint64) *decodedPage {
 		ic.curGfn, ic.cur = mem.NoFrame, nil
 		return nil
 	}
+	// Every hit refreshes the eviction stamp — including streaming MRU hits.
+	// Stamping only on MRU transitions (the original behaviour) let evictOne
+	// victimize the page a tight loop was executing from the moment the
+	// cache filled with colder pages.
+	ic.tick++
+	p.lastUse = ic.tick
 	ic.Stats.Hits++
 	return p
+}
+
+// chainAt returns the live chain link recorded for source slot, or nil.
+func (p *decodedPage) chainAt(slot uint16) *chainLink {
+	l := &p.chain[slot&(chainSlots-1)]
+	if !l.valid || l.slot != slot {
+		return nil
+	}
+	return l
+}
+
+// setChain records (or overwrites, latest-wins) the resolved successor of
+// source slot: the successor's predecoded page, slot, observed PC and the
+// fetch-translation snapshot ChainFetch will revalidate on consumption.
+func (ic *ICache) setChain(p *decodedPage, slot uint16, pc uint64, target *decodedPage, gfn uint64, tslot uint16, snap mmu.FetchSnap) {
+	p.chain[slot&(chainSlots-1)] = chainLink{
+		valid: true, slot: slot, tslot: tslot, pc: pc, gfn: gfn, page: target, snap: snap,
+	}
+	ic.Stats.ChainResolves++
+}
+
+// noteChainHit replays the icache bookkeeping of a lookup hit for a block
+// entry served from a chain link — hit count, MRU slot, eviction stamp —
+// so the cache's host-side state evolves as if the map lookup had run.
+func (ic *ICache) noteChainHit(gfn uint64, p *decodedPage) {
+	ic.curGfn, ic.cur = gfn, p
+	ic.tick++
+	p.lastUse = ic.tick
+	ic.Stats.Hits++
+	ic.Stats.ChainHits++
 }
 
 // fill captures the raw words of the page at gfn and lowers it into
@@ -194,5 +258,9 @@ func (ic *ICache) Counters() *metrics.CounterSet {
 	s.Add("icache_invalidations", ic.Stats.Invalidations)
 	s.Add("icache_predecodes", ic.Stats.Predecodes)
 	s.Add("icache_evictions", ic.Stats.Evictions)
+	s.Add("icache_chain_hits", ic.Stats.ChainHits)
+	s.Add("icache_chain_misses", ic.Stats.ChainMisses)
+	s.Add("icache_chain_resolves", ic.Stats.ChainResolves)
+	s.Add("icache_block_crossings", ic.Stats.Crossings)
 	return s
 }

@@ -193,6 +193,48 @@ func TestICacheCapacityEvictsSingleVictim(t *testing.T) {
 	}
 }
 
+// TestICacheHotPageSurvivesEvictionPressure: a streaming hit must refresh
+// the eviction stamp. Before the fix, lookup stamped lastUse only on MRU
+// *transitions*, so a page hit exclusively through the MRU shortcut — a
+// tight loop, and since block chaining every chained entry via noteChainHit
+// — kept a stamp frozen at its entry time while colder pages accumulated
+// newer ones, and under fill pressure evictOne victimized the hottest page
+// in the cache, the one currently executing.
+func TestICacheHotPageSurvivesEvictionPressure(t *testing.T) {
+	np := uint64(maxCachedPages + 64)
+	g := mem.NewGuestPhys(mem.NewPool(np+8), np*isa.PageSize)
+	if err := g.PopulateAll(); err != nil {
+		t.Fatal(err)
+	}
+	ic := NewICache()
+	const hot = uint64(0)
+	ic.fill(g, hot)
+	hp := ic.lookup(g, hot) // MRU hit: fill left cur on the hot page
+	if hp == nil {
+		t.Fatal("hot page not cached")
+	}
+	before := hp.lastUse
+	if ic.lookup(g, hot) != hp {
+		t.Fatal("hot page lookup failed")
+	}
+	if hp.lastUse <= before {
+		t.Fatalf("streaming MRU hit left lastUse frozen at %d", hp.lastUse)
+	}
+	// Chained-loop pressure: the hot page is entered via chain links only
+	// (no lookup transitions to restamp it) while more cold pages than the
+	// cache holds are filled. The hot page must survive every eviction.
+	for cold := uint64(1); cold <= maxCachedPages+16; cold++ {
+		ic.noteChainHit(hot, hp)
+		ic.fill(g, cold)
+		if _, ok := ic.pages[hot]; !ok {
+			t.Fatalf("hot page evicted after %d cold fills", cold)
+		}
+	}
+	if ic.Stats.Evictions == 0 {
+		t.Fatal("pressure never triggered an eviction — the test lost its teeth")
+	}
+}
+
 // TestICacheQuantumAndTraps: cache behaviour across quantum expiry, guest
 // traps (illegal instruction vectoring through STVEC) and re-entry must be
 // invisible.

@@ -43,6 +43,30 @@ import (
 // routes through blockLoad/blockStore and the execute switch — the
 // differential reference arm.
 
+// blockAdmissible reports whether a straight-line run of n instructions
+// containing memOps memory operations can retire without any event boundary
+// landing inside it: the run's worst-case cycle span — every instruction's
+// base cost plus, per memory op, the access itself and a maximal page-table
+// walk (fetch replays add no cycles; a TLB geometry change ends the block
+// before a fetch could walk) — must stay strictly below both the quantum
+// deadline and an unlatched STIMECMP. The comparisons are wrap-guarded: the
+// old `c.Cycles + span` horizon wrapped when the cycle counter ran near
+// ^uint64(0) and falsely admitted blocks whose span crossed the deadline or
+// the timer latch (bugfix; see TestBlockHorizonSaturatedCycles).
+func (c *CPU) blockAdmissible(n, memOps, deadline uint64) bool {
+	span := n*c.Costs.Instr +
+		memOps*(c.Costs.MemAccess+c.MMU.MaxWalkRefs()*c.Costs.PTRef)
+	if c.Cycles >= deadline || span >= deadline-c.Cycles {
+		return false
+	}
+	if cmp := c.CSR.Stimecmp; cmp != 0 && c.CSR.Sip&(1<<isa.IntTimer) == 0 {
+		if cmp <= c.Cycles || span >= cmp-c.Cycles {
+			return false
+		}
+	}
+	return true
+}
+
 // runBlock executes the superblock starting at slot idx of predecoded page p
 // (whose guest-physical page is gfn), assuming the caller already performed
 // this instruction's fetch translation and event checks. dispatched reports
@@ -50,19 +74,21 @@ import (
 // caller must execute the instruction on the single-instruction path. When
 // done is true, Run must return ex; otherwise the outer loop resumes at the
 // current PC (which may be mid-block after a bail, or the terminator).
+//
+// Cross-page continuation: a run cut by the page boundary rather than a
+// terminator may continue into the successor page when the boundary's chain
+// link proves the successor still exact — observed PC recurs, target page
+// version unchanged, translation snapshot revalidated by mmu.ChainFetch
+// (which replays precisely the fetch bookkeeping the outer loop's real
+// TranslateFetch would perform) — and the successor run passes its own
+// admission check against the advanced clock. That check is the same
+// decision a fresh block entry at the successor's first instruction would
+// make, and the entry admission proves no loop-top event (quantum, timer
+// latch, interrupt window) could have fired at the boundary, so event
+// boundaries land on exactly the same instruction as the unchained run.
 func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done, dispatched bool) {
 	n := uint64(p.blkLen[idx])
-	// Worst-case cycle span: every instruction's base cost plus, for each
-	// memory op, the access itself and a maximal page-table walk. Fetch
-	// replays add no cycles (a TLB geometry change ends the block before a
-	// fetch could walk).
-	span := n*c.Costs.Instr +
-		uint64(p.blkMem[idx])*(c.Costs.MemAccess+c.MMU.MaxWalkRefs()*c.Costs.PTRef)
-	horizon := c.Cycles + span
-	if horizon >= deadline {
-		return Exit{}, false, false
-	}
-	if cmp := c.CSR.Stimecmp; cmp != 0 && horizon >= cmp && c.CSR.Sip&(1<<isa.IntTimer) == 0 {
+	if !c.blockAdmissible(n, uint64(p.blkMem[idx]), deadline) {
 		return Exit{}, false, false
 	}
 
@@ -71,64 +97,94 @@ func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done
 	// Arm the self-modifying-code detector in storeExec for the block's
 	// duration; outside blocks the sentinel never matches a store.
 	c.codeGfn = gfn
-	var retired uint64
-loop:
-	for retired < n {
-		j := idx + retired
-		if p.valid[j>>6]&(1<<(j&63)) == 0 {
-			p.ins[j] = isa.Decode(p.raw[j])
-			p.fn[j] = execTable.For(p.ins[j].Op)
-			p.valid[j>>6] |= 1 << (j & 63)
-		}
-		in := p.ins[j]
-		if retired > 0 && !c.MMU.ReplayFetch(c.PC) {
-			break // TLB insert/flush under the fetch stream: resume slow
-		}
-		retired++
-		// Statuses stay small ints and the rare Exit goes through
-		// c.pendExit, keeping the large Exit struct out of the
-		// per-instruction return path.
-		var st int
-		if threaded {
-			// Block-specialized execution: every instruction — stores
-			// included — runs the slot's decode-time-resolved executor.
-			st = p.fn[j](c, in, p.raw[j])
-		} else {
-			switch {
-			case isa.IsLoad(in.Op):
-				st = c.blockLoad(in)
-			case isa.IsStore(in.Op):
-				st = c.blockStore(in)
-			default:
-				pcNext := c.PC + 4
-				ex, d := c.execute(in, p.raw[j])
-				if d {
-					c.codeGfn = mem.NoFrame
-					c.Cycles += retired * instr
-					c.Instret += retired
-					return ex, true, true
-				}
-				if c.PC == pcNext {
-					st = stOK
-				} else {
-					st = stTrap
+	for {
+		var retired uint64
+		clean := true
+	loop:
+		for retired < n {
+			j := idx + retired
+			if p.valid[j>>6]&(1<<(j&63)) == 0 {
+				p.ins[j] = isa.Decode(p.raw[j])
+				p.fn[j] = execTable.For(p.ins[j].Op)
+				p.valid[j>>6] |= 1 << (j & 63)
+			}
+			in := p.ins[j]
+			if retired > 0 && !c.MMU.ReplayFetch(c.PC) {
+				clean = false
+				break // TLB insert/flush under the fetch stream: resume slow
+			}
+			retired++
+			// Statuses stay small ints and the rare Exit goes through
+			// c.pendExit, keeping the large Exit struct out of the
+			// per-instruction return path.
+			var st int
+			if threaded {
+				// Block-specialized execution: every instruction — stores
+				// included — runs the slot's decode-time-resolved executor.
+				st = p.fn[j](c, in, p.raw[j])
+			} else {
+				switch {
+				case isa.IsLoad(in.Op):
+					st = c.blockLoad(in)
+				case isa.IsStore(in.Op):
+					st = c.blockStore(in)
+				default:
+					pcNext := c.PC + 4
+					ex, d := c.execute(in, p.raw[j])
+					if d {
+						c.codeGfn = mem.NoFrame
+						c.Cycles += retired * instr
+						c.Instret += retired
+						return ex, true, true
+					}
+					if c.PC == pcNext {
+						st = stOK
+					} else {
+						st = stTrap
+					}
 				}
 			}
+			switch st {
+			case stOK:
+			case stExit:
+				c.codeGfn = mem.NoFrame
+				c.Cycles += retired * instr
+				c.Instret += retired
+				return c.pendExit, true, true
+			default: // stTrap: control redirected; stSMC: the block wrote itself
+				clean = false
+				break loop
+			}
 		}
-		switch st {
-		case stOK:
-		case stExit:
-			c.codeGfn = mem.NoFrame
-			c.Cycles += retired * instr
-			c.Instret += retired
-			return c.pendExit, true, true
-		default: // stTrap: control redirected; stSMC: the block wrote itself
-			break loop
+		c.Cycles += retired * instr
+		c.Instret += retired
+		if !clean || idx+n < instPerPage || c.NoBlockChain {
+			break
 		}
+		// The run was cut by the page boundary, not a terminator. Arm the
+		// boundary pseudo-terminator: if the block ends here, the outer loop
+		// consumes the chain link (or resolves one from its real fetch); a
+		// link that validates and admits right now lets the block continue
+		// in place instead.
+		c.chainPage, c.chainSlot, c.chainArmed = p, instPerPage-1, true
+		l := p.chainAt(instPerPage - 1)
+		if l == nil || l.pc != c.PC || c.Mem.PageVersion(l.gfn) != l.page.ver {
+			break
+		}
+		tn := uint64(l.page.blkLen[l.tslot])
+		if tn == 0 || !c.blockAdmissible(tn, uint64(l.page.blkMem[l.tslot]), deadline) {
+			break
+		}
+		if !c.MMU.ChainFetch(&l.snap, c.PC, c.Priv == PrivU) {
+			break
+		}
+		c.chainArmed = false
+		p, gfn, idx, n = l.page, l.gfn, uint64(l.tslot), tn
+		c.ICache.noteChainHit(gfn, p)
+		c.ICache.Stats.Crossings++
+		c.codeGfn = gfn
 	}
 	c.codeGfn = mem.NoFrame
-	c.Cycles += retired * instr
-	c.Instret += retired
 	return Exit{}, false, true
 }
 

@@ -285,3 +285,290 @@ func TestSuperblockLoweringShapes(t *testing.T) {
 			p1.blkLen[0], p1.blkLen[instPerPage-1])
 	}
 }
+
+// TestBlockHorizonSaturatedCycles: the block admission check must be exact
+// when the cycle counter runs near ^uint64(0). The old form computed
+// `horizon := c.Cycles + span`; with the clock saturated the addition
+// wrapped, the tiny wrapped horizon compared below the deadline, and a block
+// whose span crossed the quantum was dispatched — retiring past the deadline
+// (and, once the clock itself wrapped, running clean through HALT while the
+// reference arm exited with ExitQuantum). The wrap-guarded blockAdmissible
+// refuses dispatch and both arms exit at the identical instruction.
+func TestBlockHorizonSaturatedCycles(t *testing.T) {
+	// A long load-heavy straight-line run: big worst-case span.
+	var ins []isa.Inst
+	for i := 0; i < 200; i++ {
+		ins = append(ins,
+			isa.Inst{Op: isa.OpLW, Rd: isa.RegT0, Rs1: isa.RegZero, Imm: 0x100},
+			isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 1})
+	}
+	ins = append(ins, isa.Inst{Op: isa.OpHALT})
+	img := words(ins...)
+	cached, plain := newCPUPair(t, img)
+	span := uint64(len(ins)-1)*cached.Costs.Instr +
+		200*(cached.Costs.MemAccess+cached.MMU.MaxWalkRefs()*cached.Costs.PTRef)
+	delta := span / 2   // span >= delta: admission must refuse...
+	budget := delta / 2 // ...and the deadline itself must not wrap
+	for _, c := range []*CPU{cached, plain} {
+		c.Cycles = ^uint64(0) - delta
+	}
+	exC, exP := cached.Run(budget), plain.Run(budget)
+	if exC.Reason != ExitQuantum || exP.Reason != ExitQuantum {
+		t.Fatalf("exits: cached %v plain %v, want ExitQuantum (wrapped horizon admitted the block?)", exC, exP)
+	}
+	if cached.X != plain.X || cached.Cycles != plain.Cycles ||
+		cached.Instret != plain.Instret || cached.PC != plain.PC {
+		t.Fatalf("saturated-clock runs diverged: cached (cyc=%d ret=%d pc=%#x) plain (cyc=%d ret=%d pc=%#x)",
+			cached.Cycles, cached.Instret, cached.PC, plain.Cycles, plain.Instret, plain.PC)
+	}
+	// The same saturated entry must also hold with STIMECMP armed just past
+	// the clock: cmp - Cycles < span, so admission refuses; the latch then
+	// fires at the same loop-top boundary either way.
+	cached2, plain2 := newCPUPair(t, img)
+	for _, c := range []*CPU{cached2, plain2} {
+		c.Cycles = ^uint64(0) - span - span/4
+		c.CSR.Stimecmp = c.Cycles + delta
+	}
+	exC2, exP2 := cached2.Run(span*2), plain2.Run(span*2)
+	if exC2.Reason != exP2.Reason {
+		t.Fatalf("stimecmp exits diverged: cached %v plain %v", exC2, exP2)
+	}
+	if cached2.CSR != plain2.CSR || cached2.Cycles != plain2.Cycles || cached2.Instret != plain2.Instret {
+		t.Fatalf("stimecmp runs diverged: cached (cyc=%d sip=%#x) plain (cyc=%d sip=%#x)",
+			cached2.Cycles, cached2.CSR.Sip, plain2.Cycles, plain2.CSR.Sip)
+	}
+}
+
+// chainLoopImg builds a loop whose body straddles the 0x2000 page boundary:
+// a one-time straight-line prologue pads execution up to just below the
+// boundary, then the loop body runs 8 instructions on the first page,
+// crosses into the second, and branches back. Every iteration exercises both
+// chain paths — the page-boundary pseudo-terminator (cross-page superblock
+// continuation) and the back-edge terminator (chained block entry).
+func chainLoopImg(t *testing.T, iters uint64) []byte {
+	t.Helper()
+	b := asm.NewBuilder(0x1000)
+	b.Li(isa.RegS0, iters)
+	for b.PC() < 0x1FE0 {
+		b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+	}
+	b.Label("loop")
+	for b.PC() < 0x2020 {
+		b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+	}
+	b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+	b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, "loop")
+	b.Halt(0)
+	img, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestBlockChainCrossPageLoop: a hot loop straddling a page boundary must be
+// byte-identical between the chained engine and the NoBlockChain reference
+// arm — across a budget sweep that lands quantum deadlines on every boundary
+// near the crossing — while the chained run actually crosses and chains.
+func TestBlockChainCrossPageLoop(t *testing.T) {
+	img := chainLoopImg(t, 50)
+	for budget := uint64(97); budget < 4000; budget += 449 {
+		chained, _ := newCPUPairSB(t, img, nil)
+		unchained, _ := newCPUPairSB(t, img, func(c *CPU) { c.NoBlockChain = true })
+		for {
+			exC := chained.Run(budget)
+			exU := unchained.Run(budget)
+			if exC.Reason != exU.Reason {
+				t.Fatalf("budget %d: exit diverged: chained %v unchained %v (pc %#x vs %#x)",
+					budget, exC, exU, chained.PC, unchained.PC)
+			}
+			compareCPUs(t, "chain", chained, unchained)
+			if t.Failed() {
+				t.Fatalf("diverged at budget %d", budget)
+			}
+			if exC.Reason == ExitHalt {
+				break
+			}
+		}
+		st := chained.ICache.Stats
+		if st.Crossings == 0 || st.ChainHits == 0 {
+			t.Fatalf("budget %d: chain engine idle: %+v", budget, st)
+		}
+		if un := unchained.ICache.Stats; un.Crossings != 0 || un.ChainHits != 0 || un.ChainResolves != 0 {
+			t.Fatalf("budget %d: reference arm used the chain cache: %+v", budget, un)
+		}
+	}
+}
+
+// TestBlockChainSMCAndFlushInvalidation: a chained successor must be
+// re-proven on every consumption. The guest overwrites an instruction in the
+// *successor* page of a chained crossing (page version bump) and later runs
+// an SFENCE.VMA between chained iterations (TLB generation bump); both must
+// invalidate the link and both arms must stay byte-identical.
+func TestBlockChainSMCAndFlushInvalidation(t *testing.T) {
+	// Loop straddles 0x2000; iteration 25 stores a new instruction into the
+	// successor page (changing an ADDI a0,+1 to ADDI a0,+3 at 0x2010), and
+	// every iteration executes SFENCE.VMA (a system terminator between the
+	// chained back-edge and the next entry).
+	build := func(sfence bool) []byte {
+		b := asm.NewBuilder(0x1000)
+		b.Li(isa.RegS0, 50)
+		for b.PC() < 0x1FF0 {
+			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+		b.Label("loop")
+		for b.PC() < 0x2020 {
+			b.I(isa.OpADDI, isa.RegA0, isa.RegA0, 1)
+		}
+		// if s0 == 25: patch 0x2010 with "addi a0, a0, 3"
+		b.Li(isa.RegT0, 25)
+		b.Branch(isa.OpBNE, isa.RegS0, isa.RegT0, "nopatch")
+		b.Li(isa.RegT1, uint64(isa.Encode(isa.Inst{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA0, Imm: 3})))
+		b.Li(isa.RegT2, 0x2010)
+		b.Store(isa.OpSW, isa.RegT1, isa.RegT2, 0)
+		b.Label("nopatch")
+		if sfence {
+			b.SfenceVMA(isa.RegZero, isa.RegZero)
+		}
+		b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+		b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, "loop")
+		b.Halt(0)
+		img, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	for _, sfence := range []bool{false, true} {
+		img := build(sfence)
+		chained, _ := newCPUPairSB(t, img, nil)
+		unchained, _ := newCPUPairSB(t, img, func(c *CPU) { c.NoBlockChain = true })
+		exC, exU := chained.Run(10_000_000), unchained.Run(10_000_000)
+		if exC.Reason != ExitHalt || exU.Reason != ExitHalt {
+			t.Fatalf("sfence=%v exits: chained %v unchained %v", sfence, exC, exU)
+		}
+		compareCPUs(t, "chain-smc", chained, unchained)
+		if t.Failed() {
+			t.FailNow()
+		}
+		if st := chained.ICache.Stats; st.Crossings == 0 {
+			t.Fatalf("sfence=%v: loop never crossed in-block: %+v", sfence, st)
+		}
+	}
+}
+
+// TestBlockChainRemapFlushExact: the one invalidation the page-version check
+// cannot see — the guest rewrites a leaf PTE so the chained virtual page maps
+// to a different frame with different code, then SFENCE.VMAs. The chain
+// link's translation snapshot still names the old frame (whose content, and
+// hence page version, never changed), so only the TLB-generation check in
+// mmu.ChainFetch stands between the chained arm and silently executing stale
+// code. The chained and unchained arms must stay byte-identical across the
+// remap, and both must observe the new frame's code.
+func TestBlockChainRemapFlushExact(t *testing.T) {
+	const (
+		targetVA = uint64(0x200000) // chained page, outside the identity region
+		frame1   = uint64(80)
+		frame2   = uint64(81)
+		iters    = uint64(64)
+		remapAt  = uint64(32)
+	)
+	build := func(noChain bool) *CPU {
+		g := mem.NewGuestPhys(mem.NewPool(ramPages*2), ramPages*isa.PageSize)
+		if err := g.PopulateAll(); err != nil {
+			t.Fatal(err)
+		}
+		tb, err := mmu.NewTableBuilder(g, 128, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identity-map code, data and the page tables themselves (the guest
+		// rewrites a leaf slot directly, like the PT-churn workload).
+		if err := tb.IdentityMap(160*isa.PageSize, isa.PTERead|isa.PTEWrite|isa.PTEExec); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Map(targetVA, frame1<<isa.PageShift, isa.PTERead|isa.PTEExec); err != nil {
+			t.Fatal(err)
+		}
+		l0, err := tb.EnsureL0(targetVA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pteAddr := l0<<isa.PageShift + isa.VPN(targetVA, 0)*8
+		newPTE := isa.MakePTE(frame2, isa.PTERead|isa.PTEExec|isa.PTEValid|isa.PTEAcc|isa.PTEDirty)
+
+		// Both frames: bump a1, then return to the loop. Frame 2 bumps by 2,
+		// so executing a stale frame after the remap is architecturally
+		// visible.
+		for _, fr := range []struct {
+			ppn uint64
+			inc int64
+		}{{frame1, 1}, {frame2, 2}} {
+			fb := asm.NewBuilder(targetVA)
+			fb.I(isa.OpADDI, isa.RegA1, isa.RegA1, fr.inc)
+			fb.Jalr(isa.RegZero, isa.RegS3, 0)
+			fimg, err := fb.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f := g.Write(fr.ppn<<isa.PageShift, fimg); f != nil {
+				t.Fatal(f)
+			}
+		}
+
+		b := asm.NewBuilder(0x1000)
+		b.Li(isa.RegT0, isa.MakeSatp(isa.SatpModePaged, 1, tb.RootPPN))
+		b.Csrw(isa.CSRSatp, isa.RegT0)
+		b.SfenceVMA(isa.RegZero, isa.RegZero)
+		b.La(isa.RegS3, "loopret")
+		b.Li(isa.RegS4, targetVA)
+		b.Li(isa.RegS5, pteAddr)
+		b.Li(isa.RegS6, newPTE)
+		b.Li(isa.RegS0, iters)
+		b.Li(isa.RegS2, 0)
+		b.Li(isa.RegT5, remapAt)
+		b.Label("top")
+		b.Jalr(isa.RegZero, isa.RegS4, 0) // into the chained page
+		b.Label("loopret")
+		b.Branch(isa.OpBNE, isa.RegS2, isa.RegT5, "no_remap")
+		b.Store(isa.OpSD, isa.RegS6, isa.RegS5, 0) // retarget the leaf PTE
+		b.SfenceVMA(isa.RegZero, isa.RegZero)
+		b.Label("no_remap")
+		b.I(isa.OpADDI, isa.RegS2, isa.RegS2, 1)
+		b.I(isa.OpADDI, isa.RegS0, isa.RegS0, -1)
+		b.Branch(isa.OpBNE, isa.RegS0, isa.RegZero, "top")
+		b.Halt(0)
+		img, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := g.Write(0x1000, img); f != nil {
+			t.Fatal(f)
+		}
+
+		c := New(g, mmu.NewContext(g, mmu.StyleDirect))
+		c.Priv = PrivS
+		c.PC = 0x1000
+		c.ICache = NewICache()
+		c.NoBlockChain = noChain
+		return c
+	}
+
+	chained, plain := build(false), build(true)
+	for name, c := range map[string]*CPU{"chained": chained, "plain": plain} {
+		if ex := c.Run(10_000_000); ex.Reason != ExitHalt {
+			t.Fatalf("%s: exit %v (pc=%#x)", name, ex, c.PC)
+		}
+	}
+	// Iterations 0..remapAt ran frame 1 (+1), the rest frame 2 (+2): both
+	// arms must have switched frames at exactly the remap.
+	want := (remapAt + 1) + (iters-remapAt-1)*2
+	if chained.X[isa.RegA1] != want || plain.X[isa.RegA1] != want {
+		t.Errorf("a1: chained=%d plain=%d want %d (stale frame executed?)",
+			chained.X[isa.RegA1], plain.X[isa.RegA1], want)
+	}
+	compareCPUs(t, "remap", chained, plain)
+	if st := chained.ICache.Stats; st.ChainHits == 0 {
+		t.Errorf("chained arm never chained: %+v", st)
+	}
+}

@@ -113,10 +113,23 @@ func (s *Switch) forward(from *Port, frame []byte) {
 		s.mu.Unlock()
 		return
 	}
-	s.fdb[src] = from
+	// Learn only unicast sources: a broadcast (or multicast) source MAC is
+	// never a legitimate station address, and learning it would let a
+	// later frame *to* the broadcast group-bit space unicast-forward.
+	if src[0]&1 == 0 {
+		s.fdb[src] = from
+	}
 	var targets []*Port
 	if dst != Broadcast {
-		if p, known := s.fdb[dst]; known && p != from {
+		if p, known := s.fdb[dst]; known {
+			if p == from {
+				// Hairpin: the destination lives on the sending port. A
+				// real switch filters these; flooding them (the old
+				// behaviour) duplicated the frame to every other segment.
+				s.Dropped++
+				s.mu.Unlock()
+				return
+			}
 			targets = []*Port{p}
 			s.Forwarded++
 		}

@@ -95,6 +95,93 @@ func TestPortCounters(t *testing.T) {
 	}
 }
 
+// TestHairpinUnicastDropped: a unicast frame whose destination is learned on
+// the sending port must be filtered, not flooded — before the fix the switch
+// treated "known but on the sender" as unknown and duplicated the frame to
+// every other segment.
+func TestHairpinUnicastDropped(t *testing.T) {
+	sw := NewSwitch()
+	a, b := sw.NewPort(), sw.NewPort()
+	nB := 0
+	b.SetReceiver(func([]byte) { nB++ })
+	macA, macA2 := MACForVM(1), MACForVM(10)
+
+	// Two stations behind port A teach the switch both MACs.
+	a.Send(BuildFrame(Broadcast, macA, nil))
+	a.Send(BuildFrame(Broadcast, macA2, nil))
+	if nB != 2 {
+		t.Fatalf("broadcast floods = %d, want 2", nB)
+	}
+	// A-side traffic between them hairpins: same ingress port as the
+	// learned destination. The switch must drop, and B must see nothing.
+	a.Send(BuildFrame(macA2, macA, []byte("local")))
+	a.Send(BuildFrame(macA, macA2, []byte("reply")))
+	if nB != 2 {
+		t.Fatalf("hairpin frames leaked to B: %d", nB)
+	}
+	if sw.Dropped != 2 || sw.Forwarded != 0 {
+		t.Fatalf("stats dropped=%d fwd=%d, want 2/0", sw.Dropped, sw.Forwarded)
+	}
+}
+
+// TestHairpinUnicastDroppedDeferred is the same property through the
+// deferred (parallel-epoch) path: queued hairpin frames are filtered at
+// Flush, which still counts them as flushed (they entered the switch).
+func TestHairpinUnicastDroppedDeferred(t *testing.T) {
+	sw := NewSwitch()
+	a, b := sw.NewPort(), sw.NewPort()
+	nB := 0
+	b.SetReceiver(func([]byte) { nB++ })
+	macA, macA2 := MACForVM(1), MACForVM(10)
+	a.Send(BuildFrame(Broadcast, macA, nil))
+	a.Send(BuildFrame(Broadcast, macA2, nil))
+
+	sw.SetDeferred(true)
+	a.Send(BuildFrame(macA2, macA, []byte("local")))
+	a.Send(BuildFrame(MACForVM(2), macA, []byte("far"))) // unknown dst: floods
+	if n := sw.Flush(); n != 2 {
+		t.Fatalf("flushed %d frames, want 2", n)
+	}
+	sw.SetDeferred(false)
+	if nB != 3 { // two broadcasts + one flood; the hairpin must not arrive
+		t.Fatalf("B received %d frames, want 3", nB)
+	}
+	if sw.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", sw.Dropped)
+	}
+}
+
+// TestBroadcastSourceNotLearned: a frame whose *source* MAC is the broadcast
+// address must not be learned — before the fix it entered the fdb, and a
+// later frame addressed to ff:ff:.. on a switch with such a poisoned entry
+// would have unicast-forwarded instead of flooding. Group-bit (multicast)
+// sources are refused the same way, in sync and deferred modes.
+func TestBroadcastSourceNotLearned(t *testing.T) {
+	for _, deferred := range []bool{false, true} {
+		sw := NewSwitch()
+		a, b, c := sw.NewPort(), sw.NewPort(), sw.NewPort()
+		nB, nC := 0, 0
+		b.SetReceiver(func([]byte) { nB++ })
+		c.SetReceiver(func([]byte) { nC++ })
+		mcast := MAC{0x01, 0x00, 0x5e, 0x00, 0x00, 0x01}
+
+		sw.SetDeferred(deferred)
+		a.Send(BuildFrame(MACForVM(2), Broadcast, nil)) // broadcast source
+		a.Send(BuildFrame(MACForVM(2), mcast, nil))     // multicast source
+		b.Send(BuildFrame(Broadcast, MACForVM(2), nil)) // must still flood
+		if deferred {
+			sw.Flush()
+			sw.SetDeferred(false)
+		}
+		if nC != 3 {
+			t.Fatalf("deferred=%v: C received %d frames, want 3 floods", deferred, nC)
+		}
+		if sw.Flooded != 3 {
+			t.Fatalf("deferred=%v: flooded = %d, want 3", deferred, sw.Flooded)
+		}
+	}
+}
+
 // TestDeferredDeliveryFlushesInPortOrder: with the switch deferred (parallel
 // host epochs), Send queues and Flush delivers everything in (port id, send
 // order) — the property that makes inter-VM traffic independent of worker
