@@ -37,6 +37,7 @@ package govisor
 
 import (
 	"govisor/internal/core"
+	"govisor/internal/faultnet"
 	"govisor/internal/gabi"
 	"govisor/internal/guest"
 	"govisor/internal/ksm"
@@ -176,6 +177,14 @@ type (
 	MigrateReport = migrate.Report
 	// Link models the migration channel.
 	Link = migrate.Link
+	// StreamOptions configures a streamed (wire-transport) migration.
+	StreamOptions = migrate.StreamOptions
+	// StreamReport is a streamed migration outcome, with transport stats.
+	StreamReport = migrate.StreamReport
+	// FaultPlan schedules deterministic transport faults.
+	FaultPlan = faultnet.Plan
+	// FaultInjector wraps connections with a seeded fault schedule.
+	FaultInjector = faultnet.Injector
 )
 
 // Migration modes.
@@ -192,7 +201,20 @@ var (
 	Gbps = migrate.Gbps
 	// DefaultMigrateOptions returns pre-copy over a 10 Gb link.
 	DefaultMigrateOptions = migrate.DefaultOptions
+	// StreamMigrate runs a migration over a real wire with retry,
+	// resume, and abort-with-rollback.
+	StreamMigrate = migrate.StreamMigrate
+	// DefaultStreamOptions returns streamed pre-copy over net.Pipe.
+	DefaultStreamOptions = migrate.DefaultStreamOptions
+	// PipeWire builds an in-process wire, optionally fault-wrapped.
+	PipeWire = migrate.PipeWire
+	// NewFaultInjector builds a deterministic fault injector.
+	NewFaultInjector = faultnet.NewInjector
 )
+
+// ErrMigrationAborted reports a streamed migration that gave up and rolled
+// the source back.
+var ErrMigrationAborted = migrate.ErrAborted
 
 // Snapshot / cloning.
 var (

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"govisor/internal/core"
+	"govisor/internal/faultnet"
+	"govisor/internal/guest"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+	"govisor/internal/metrics"
+	"govisor/internal/migrate"
+)
+
+// evacRAM keeps the drill VMs small enough that draining a whole host of
+// them stays in benchmark budget; the streams still cross hundreds of
+// frames per VM.
+const evacRAM = 2 << 20
+
+// M7Evacuation: host-evacuation drill over the streamed migration engine.
+// A fleet of VMs with staggered dirty footprints is drained one by one to
+// fresh destinations through real wire connections (net.Pipe), once over a
+// clean transport and once under the deterministic faultnet schedule
+// (seeds 42+i). Every migration must complete — under faults that means
+// surviving injected resets, partial writes, corruption and delay spikes
+// via retry, backoff and round-resume. The simulated columns (downtime
+// percentiles, retries, resumes, faults, bytes) are deterministic; only
+// host ns/instr measures the host.
+func M7Evacuation() (*metrics.Table, error) {
+	t := &metrics.Table{Header: []string{
+		"scenario", "vms", "downtime P50 (Kcyc)", "downtime P99 (Kcyc)",
+		"retries", "resumes", "faults", "sent (MiB)", "host ns/instr",
+	}}
+	const vms = 6
+	scenarios := []struct {
+		name    string
+		faulted bool
+	}{
+		{"clean drain", false},
+		{"faulted drain (seed 42)", true},
+	}
+	kernel, err := guest.BuildKernel()
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range scenarios {
+		var (
+			downtimes []uint64
+			retries   uint64
+			resumes   uint64
+			faults    uint64
+			sent      uint64
+			instrs    uint64
+		)
+		start := time.Now()
+		for i := 0; i < vms; i++ {
+			pool := mem.NewPool(4 * evacRAM >> isa.PageShift)
+			src, err := core.NewVM(pool, core.Config{
+				Name: fmt.Sprintf("evac-src-%d", i), Mode: core.ModeHW, MemBytes: evacRAM,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Staggered dirty footprints spread the per-VM downtimes, so
+			// the percentile columns summarize a real distribution.
+			guest.Dirty(0, 8+uint64(i)*24, 2000).Apply(src)
+			if err := src.Boot(kernel); err != nil {
+				return nil, err
+			}
+			src.Step(scaled(10_000_000))
+			if src.State != core.StateRunning {
+				return nil, fmt.Errorf("bench: M7 source %d ended %v (%v)", i, src.State, src.Err)
+			}
+			dst, err := core.NewVM(pool, core.Config{
+				Name: fmt.Sprintf("evac-dst-%d", i), Mode: core.ModeHW, MemBytes: evacRAM,
+			})
+			if err != nil {
+				return nil, err
+			}
+			opt := migrate.DefaultStreamOptions()
+			opt.MaxAttempts = 10
+			var inj *faultnet.Injector
+			if sc.faulted {
+				inj = faultnet.NewInjector(faultnet.Plan{
+					Seed:         42 + int64(i),
+					MeanGapBytes: 45_000,
+					MaxFaults:    2,
+				})
+				opt.Wire = migrate.PipeWire(inj.Wrap)
+				opt.DelayCycles = inj.TakeDelayCycles
+			}
+			rep, err := migrate.StreamMigrate(src, dst, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: M7 evacuating VM %d (%s): %w", i, sc.name, err)
+			}
+			downtimes = append(downtimes, rep.DowntimeCycles)
+			retries += rep.Retries
+			resumes += rep.Resumes
+			sent += rep.BytesSent
+			if inj != nil {
+				faults += inj.Stats().Total()
+			}
+			// The evacuated VM keeps serving on its new host.
+			dst.Step(scaled(5_000_000))
+			if dst.State != core.StateRunning {
+				return nil, fmt.Errorf("bench: M7 destination %d ended %v (%v)", i, dst.State, dst.Err)
+			}
+			instrs += dst.CPU.Instret
+		}
+		hostNs := float64(time.Since(start).Nanoseconds())
+		if sc.faulted && faults == 0 {
+			return nil, fmt.Errorf("bench: M7 fault schedule injected nothing — drill is vacuous")
+		}
+		t.AddRow(sc.name, fmt.Sprint(vms),
+			fmt.Sprintf("%.1f", float64(percentile(downtimes, 50))/1e3),
+			fmt.Sprintf("%.1f", float64(percentile(downtimes, 99))/1e3),
+			fmt.Sprint(retries), fmt.Sprint(resumes), fmt.Sprint(faults),
+			fmt.Sprintf("%.1f", float64(sent)/(1<<20)),
+			fmt.Sprintf("%.1f", hostNs/float64(instrs)))
+	}
+	return t, nil
+}
+
+// percentile returns the nearest-rank p-th percentile of values.
+func percentile(values []uint64, p int) uint64 {
+	s := append([]uint64(nil), values...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (p*len(s) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}

@@ -63,5 +63,7 @@ func All() []Experiment {
 			"≥1.5× lower host ns/guest-instr on the store-dense stream vs per-store resolution with identical guest cycles and dirty accounting (the write memo is architecturally invisible)"},
 		{"M6", "Simulator: cross-page superblocks and block chaining", M6BlockChain,
 			"≥1.2× lower host ns/guest-instr on the cross-page streams vs NoBlockChain with identical guest cycles (chaining is architecturally invisible)"},
+		{"M7", "Resilience: streamed-migration host evacuation", M7Evacuation,
+			"every VM drains byte-identically over real wire connections, clean and under the seeded fault schedule; downtime percentiles, retries and resumes are deterministic"},
 	}
 }

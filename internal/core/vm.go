@@ -537,6 +537,78 @@ func (vm *VM) AdoptState(src *VM) {
 	vm.State = StateRunning
 }
 
+// ArchState is the portable architectural snapshot of a vCPU — exactly the
+// fields AdoptState transfers at migration switchover. The streamed
+// migration engine serializes it over the wire and also checkpoints it at
+// Pause so an aborted migration can roll the source back bit-for-bit.
+type ArchState struct {
+	X        [32]uint64
+	PC       uint64
+	Priv     uint8
+	Cycles   uint64
+	Instret  uint64
+	CSR      vcpu.CSRFile
+	Params   [gabi.ParamSlots]uint64
+	HaltCode uint16
+}
+
+// CaptureArch snapshots the VM's architectural state.
+func (vm *VM) CaptureArch() ArchState {
+	c := vm.CPU
+	return ArchState{
+		X:        c.X,
+		PC:       c.PC,
+		Priv:     c.Priv,
+		Cycles:   c.Cycles,
+		Instret:  c.Instret,
+		CSR:      c.CSR,
+		Params:   vm.Params,
+		HaltCode: vm.HaltCode,
+	}
+}
+
+// AdoptArch installs a captured architectural state into this VM — the
+// remote half of AdoptState. Installing SATP through WriteCSR re-arms the
+// destination's own MMU, and the VM comes up running, exactly as a local
+// AdoptState would leave it.
+func (vm *VM) AdoptArch(a ArchState) {
+	c := vm.CPU
+	c.X = a.X
+	c.PC = a.PC
+	c.Priv = a.Priv
+	c.Cycles = a.Cycles
+	c.Instret = a.Instret
+	c.CSR = a.CSR
+	c.WriteCSR(isa.CSRSatp, a.CSR.Satp)
+	vm.Params = a.Params
+	vm.HaltCode = a.HaltCode
+	vm.State = StateRunning
+}
+
+// RestoreArch rolls the VM back to a checkpoint taken on this same VM
+// while it was paused — the migration-abort path. Unlike AdoptArch it is a
+// raw field restore with no MMU re-arm: nothing has executed since the
+// checkpoint (the brown-out only read memory and advanced the clock), so
+// the MMU state on record is still valid and must not be perturbed. The VM
+// stays in its current (paused) state; the caller Resumes it.
+func (vm *VM) RestoreArch(a ArchState) {
+	c := vm.CPU
+	c.X = a.X
+	c.PC = a.PC
+	c.Priv = a.Priv
+	c.Cycles = a.Cycles
+	c.Instret = a.Instret
+	c.CSR = a.CSR
+	vm.Params = a.Params
+	vm.HaltCode = a.HaltCode
+}
+
+// FailRemote transitions the VM to StateError with err — used by
+// post-copy PageSource hooks when a remote pull fails unrecoverably, so
+// the guest halts with a visible error instead of silently executing
+// demand-zero garbage.
+func (vm *VM) FailRemote(err error) { vm.fail(err) }
+
 // Release returns all resources to the host pool (teardown).
 func (vm *VM) Release() {
 	if vm.MMUCtx.Shadow != nil {

@@ -1,0 +1,314 @@
+// Package faultnet wraps a migration transport in a deterministic fault
+// injector: connection resets at byte offsets, partial writes, bit
+// corruption (caught by the stream codec's per-frame CRCs), and latency
+// spikes measured in simulated cycles. The schedule is a pure function of
+// the seed and the byte stream — no wall clock, no global RNG — so a
+// faulted migration run is exactly reproducible, the property every
+// resilience proof in internal/migrate rests on: the failure model is an
+// explicit, sweepable parameter, not an ambient assumption.
+//
+// One Injector owns one fault schedule and wraps every connection of a
+// migration session in turn; the byte clock and PRNG persist across
+// conns, so redialing does not reset the distance to the next fault.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the error class of every injected failure; transports
+// report it wrapped with the fault kind, and errors.Is(err, ErrInjected)
+// distinguishes a simulated failure from a real transport one.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindReset terminates the connection before a write: the write
+	// returns an injected error and every later operation fails.
+	KindReset Kind = iota
+	// KindPartialWrite hands only a prefix of the buffer to the inner
+	// conn, then terminates the connection — a mid-frame truncation the
+	// peer sees as a short, unparseable stream.
+	KindPartialWrite
+	// KindCorrupt flips one bit of a written buffer and lets it through;
+	// the peer's frame CRC must catch it.
+	KindCorrupt
+	// KindReadReset terminates the connection at the next read: the
+	// sender loses the ack channel instead of the data channel, the case
+	// where the peer may have committed work the sender cannot confirm.
+	KindReadReset
+	// KindDelay injects a latency spike of Plan.DelayCycles simulated
+	// cycles, accumulated on the injector for the engine to charge.
+	KindDelay
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindReset:
+		return "reset"
+	case KindPartialWrite:
+		return "partial-write"
+	case KindCorrupt:
+		return "corrupt"
+	case KindReadReset:
+		return "read-reset"
+	case KindDelay:
+		return "delay"
+	}
+	return "kind?"
+}
+
+// Plan parameterizes a fault schedule.
+type Plan struct {
+	// Seed seeds the schedule PRNG; equal seeds over equal byte streams
+	// inject equal faults.
+	Seed int64
+	// MeanGapBytes is the average written-byte gap between faults; actual
+	// gaps are uniform in [1, 2·MeanGapBytes]. Zero disables injection.
+	MeanGapBytes uint64
+	// Kinds restricts the schedule to the listed kinds; empty means all.
+	Kinds []Kind
+	// DelayCycles is the magnitude of one KindDelay spike in simulated
+	// cycles (default 100_000 when delays are enabled).
+	DelayCycles uint64
+	// MaxFaults stops injecting after this many faults; 0 is unlimited.
+	MaxFaults int
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Resets        uint64
+	PartialWrites uint64
+	Corruptions   uint64
+	ReadResets    uint64
+	Delays        uint64
+}
+
+// Total sums the injected fault count.
+func (s Stats) Total() uint64 {
+	return s.Resets + s.PartialWrites + s.Corruptions + s.ReadResets + s.Delays
+}
+
+// Injector owns a fault schedule across the connections of one session.
+// Wrap successive conns with Wrap; the byte clock and PRNG persist.
+type Injector struct {
+	mu     sync.Mutex
+	plan   Plan
+	rng    *rand.Rand
+	kinds  []Kind
+	bytes  uint64 // total bytes written across all wrapped conns
+	nextAt uint64 // byte offset of the next fault
+	next   Kind
+	fired  int
+	delay  uint64 // accumulated injected latency, simulated cycles
+	stats  Stats
+}
+
+// NewInjector builds an injector for the plan.
+func NewInjector(plan Plan) *Injector {
+	kinds := plan.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{KindReset, KindPartialWrite, KindCorrupt, KindReadReset, KindDelay}
+	}
+	if plan.DelayCycles == 0 {
+		plan.DelayCycles = 100_000
+	}
+	inj := &Injector{
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		kinds: kinds,
+	}
+	inj.schedule()
+	return inj
+}
+
+// schedule draws the next fault's byte offset and kind. Caller holds mu
+// (or is the constructor).
+func (inj *Injector) schedule() {
+	if inj.plan.MeanGapBytes == 0 {
+		inj.nextAt = ^uint64(0)
+		return
+	}
+	gap := 1 + uint64(inj.rng.Int63n(int64(2*inj.plan.MeanGapBytes)))
+	inj.nextAt = inj.bytes + gap
+	inj.next = inj.kinds[inj.rng.Intn(len(inj.kinds))]
+}
+
+// verdict is one write's fault decision.
+type verdict struct {
+	due  bool
+	kind Kind
+	at   uint64 // absolute byte offset the fault fired at
+	cut  uint64 // offset within the buffer (partial-write length / flip site)
+	bit  uint   // bit to flip for KindCorrupt
+}
+
+// observe advances the byte clock by n written bytes and decides whether a
+// fault fires inside this write.
+func (inj *Injector) observe(n uint64) verdict {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	exhausted := inj.plan.MaxFaults > 0 && inj.fired >= inj.plan.MaxFaults
+	if exhausted || n == 0 || inj.bytes+n <= inj.nextAt {
+		inj.bytes += n
+		return verdict{}
+	}
+	v := verdict{due: true, kind: inj.next, at: inj.nextAt}
+	if v.at < inj.bytes {
+		v.at = inj.bytes
+	}
+	v.cut = v.at - inj.bytes
+	if v.cut >= n {
+		v.cut = n - 1
+	}
+	v.bit = uint(inj.rng.Intn(8))
+	inj.fired++
+	switch v.kind {
+	case KindReset:
+		inj.stats.Resets++
+		// The write is refused: no bytes advance.
+	case KindPartialWrite:
+		inj.stats.PartialWrites++
+		inj.bytes += v.cut
+	case KindCorrupt:
+		inj.stats.Corruptions++
+		inj.bytes += n
+	case KindReadReset:
+		inj.stats.ReadResets++
+		inj.bytes += n
+	case KindDelay:
+		inj.stats.Delays++
+		inj.delay += inj.plan.DelayCycles
+		inj.bytes += n
+	}
+	inj.schedule()
+	return v
+}
+
+// Stats returns the injected-fault counters.
+func (inj *Injector) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// TakeDelayCycles drains the accumulated injected latency; the migration
+// engine charges it to the simulated clock.
+func (inj *Injector) TakeDelayCycles() uint64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	d := inj.delay
+	inj.delay = 0
+	return d
+}
+
+// Wrap returns conn with this injector's fault schedule applied.
+func (inj *Injector) Wrap(conn io.ReadWriteCloser) io.ReadWriteCloser {
+	return &Conn{inner: conn, inj: inj}
+}
+
+// Conn is a fault-injecting connection wrapper. Like the transports it
+// wraps, it supports one concurrent reader and one concurrent writer.
+type Conn struct {
+	inner io.ReadWriteCloser
+	inj   *Injector
+
+	mu        sync.Mutex
+	broken    error
+	readReset error
+}
+
+// injectedErr builds the error for one fired fault.
+func injectedErr(k Kind, at uint64) error {
+	return fmt.Errorf("%w: %v at byte offset %d", ErrInjected, k, at)
+}
+
+// fail marks the conn broken and closes the inner conn so the peer's
+// blocked reads and writes unwedge.
+func (c *Conn) fail(err error) error {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	c.mu.Unlock()
+	c.inner.Close()
+	return err
+}
+
+// Write passes p through the fault schedule: it may be delivered intact,
+// delivered with one bit flipped, truncated mid-buffer, or refused with a
+// connection reset.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.mu.Unlock()
+
+	v := c.inj.observe(uint64(len(p)))
+	if !v.due {
+		return c.inner.Write(p)
+	}
+	switch v.kind {
+	case KindReset:
+		return 0, c.fail(injectedErr(v.kind, v.at))
+	case KindPartialWrite:
+		n, _ := c.inner.Write(p[:v.cut])
+		return n, c.fail(injectedErr(v.kind, v.at))
+	case KindCorrupt:
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[v.cut] ^= 1 << v.bit
+		return c.inner.Write(q)
+	case KindReadReset:
+		// Deliver this write intact; the reset fires on the next Read —
+		// the "ack lost after the peer applied the data" failure mode.
+		c.mu.Lock()
+		if c.readReset == nil {
+			c.readReset = injectedErr(v.kind, v.at)
+		}
+		c.mu.Unlock()
+		return c.inner.Write(p)
+	default: // KindDelay: latency accumulated in observe, data intact.
+		return c.inner.Write(p)
+	}
+}
+
+// Read passes through unless a read-reset fault is pending or the conn is
+// already broken.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return 0, err
+	}
+	if c.readReset != nil {
+		err := c.readReset
+		c.readReset = nil
+		c.mu.Unlock()
+		return 0, c.fail(err)
+	}
+	c.mu.Unlock()
+	return c.inner.Read(p)
+}
+
+// Close closes the inner conn; later operations fail.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = errors.New("faultnet: conn closed")
+	}
+	c.mu.Unlock()
+	return c.inner.Close()
+}

@@ -1,0 +1,326 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// bufConn is an in-memory ReadWriteCloser: writes append to out, reads
+// drain in.
+type bufConn struct {
+	mu     sync.Mutex
+	in     bytes.Buffer
+	out    bytes.Buffer
+	closed bool
+}
+
+func (b *bufConn) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if b.in.Len() == 0 {
+		return 0, io.EOF
+	}
+	return b.in.Read(p)
+}
+
+func (b *bufConn) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return b.out.Write(p)
+}
+
+func (b *bufConn) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	return nil
+}
+
+func (b *bufConn) written() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.out.Bytes()...)
+}
+
+// driveSchedule pushes a fixed write pattern through a fresh injector and
+// returns a trace of what happened per write.
+func driveSchedule(t *testing.T, plan Plan) []string {
+	t.Helper()
+	inj := NewInjector(plan)
+	var trace []string
+	inner := &bufConn{}
+	conn := inj.Wrap(inner)
+	buf := make([]byte, 257)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for w := 0; w < 400; w++ {
+		n, err := conn.Write(buf)
+		switch {
+		case err == nil:
+			trace = append(trace, fmt.Sprintf("w%d ok %d", w, n))
+		case errors.Is(err, ErrInjected):
+			trace = append(trace, fmt.Sprintf("w%d inj %d %v", w, n, err))
+			// Redial: a fresh conn continues the same schedule.
+			inner = &bufConn{}
+			conn = inj.Wrap(inner)
+		default:
+			t.Fatalf("write %d: unexpected error %v", w, err)
+		}
+		// Exercise the read path so read-resets fire deterministically.
+		if _, err := conn.Read(make([]byte, 1)); errors.Is(err, ErrInjected) {
+			trace = append(trace, fmt.Sprintf("r%d inj %v", w, err))
+			inner = &bufConn{}
+			conn = inj.Wrap(inner)
+		}
+	}
+	st := inj.Stats()
+	trace = append(trace, fmt.Sprintf("stats %+v delay %d", st, inj.TakeDelayCycles()))
+	return trace
+}
+
+// TestDeterministicSchedule proves the fault schedule is a pure function
+// of (seed, byte stream): two identical runs produce identical traces,
+// and a different seed produces a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	plan := Plan{Seed: 42, MeanGapBytes: 900}
+	a := driveSchedule(t, plan)
+	b := driveSchedule(t, plan)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a, b)
+	}
+	inj := NewInjector(plan)
+	if inj.Stats().Total() != 0 {
+		t.Fatalf("fresh injector has nonzero stats")
+	}
+	c := driveSchedule(t, Plan{Seed: 43, MeanGapBytes: 900})
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds produced identical traces")
+	}
+}
+
+// TestResetRefusesWriteAndBreaksConn: a reset fault refuses the write,
+// closes the inner conn, and poisons every later operation.
+func TestResetRefusesWriteAndBreaksConn(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 1, MeanGapBytes: 4, Kinds: []Kind{KindReset}})
+	inner := &bufConn{}
+	conn := inj.Wrap(inner)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = conn.Write([]byte{1, 2, 3}); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("expected injected reset, got %v", err)
+	}
+	if !inner.closed {
+		t.Fatalf("inner conn not closed on reset")
+	}
+	if _, err2 := conn.Write([]byte{9}); err2 == nil {
+		t.Fatalf("write after reset succeeded")
+	}
+	if _, err2 := conn.Read(make([]byte, 1)); err2 == nil {
+		t.Fatalf("read after reset succeeded")
+	}
+	if got := inj.Stats().Resets; got != 1 {
+		t.Fatalf("Resets = %d, want 1", got)
+	}
+}
+
+// TestPartialWriteTruncates: a partial-write fault delivers a strict
+// prefix then fails the conn.
+func TestPartialWriteTruncates(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 7, MeanGapBytes: 64, Kinds: []Kind{KindPartialWrite}})
+	buf := make([]byte, 40)
+	for i := range buf {
+		buf[i] = byte(i + 1)
+	}
+	for try := 0; try < 100; try++ {
+		inner := &bufConn{}
+		conn := inj.Wrap(inner)
+		n, err := conn.Write(buf)
+		if err == nil {
+			if n != len(buf) || !bytes.Equal(inner.written(), buf) {
+				t.Fatalf("clean write mangled: n=%d", n)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("unexpected error %v", err)
+		}
+		if n >= len(buf) {
+			t.Fatalf("partial write delivered full buffer (n=%d)", n)
+		}
+		if !bytes.Equal(inner.written(), buf[:n]) {
+			t.Fatalf("delivered bytes are not a prefix: %v", inner.written())
+		}
+		if !inner.closed {
+			t.Fatalf("inner conn not closed after partial write")
+		}
+		return
+	}
+	t.Fatalf("partial-write fault never fired")
+}
+
+// TestCorruptFlipsExactlyOneBit: a corruption fault delivers the buffer
+// with exactly one bit flipped.
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 3, MeanGapBytes: 64, Kinds: []Kind{KindCorrupt}})
+	buf := make([]byte, 48)
+	for i := range buf {
+		buf[i] = byte(i * 3)
+	}
+	for try := 0; try < 100; try++ {
+		inner := &bufConn{}
+		conn := inj.Wrap(inner)
+		n, err := conn.Write(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("corrupt write failed: n=%d err=%v", n, err)
+		}
+		got := inner.written()
+		if bytes.Equal(got, buf) {
+			continue // fault not due yet
+		}
+		flipped := 0
+		for i := range buf {
+			d := got[i] ^ buf[i]
+			for ; d != 0; d &= d - 1 {
+				flipped++
+			}
+		}
+		if flipped != 1 {
+			t.Fatalf("corruption flipped %d bits, want exactly 1", flipped)
+		}
+		if inj.Stats().Corruptions == 0 {
+			t.Fatalf("corruption not counted")
+		}
+		return
+	}
+	t.Fatalf("corruption fault never fired")
+}
+
+// TestReadResetDeliversWriteThenFailsRead: the write goes through intact
+// and the following read fails — the lost-ack failure mode.
+func TestReadResetDeliversWriteThenFailsRead(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 5, MeanGapBytes: 16, Kinds: []Kind{KindReadReset}})
+	buf := []byte("round-ack-payload")
+	for try := 0; try < 100; try++ {
+		inner := &bufConn{}
+		inner.in.WriteString("ack")
+		conn := inj.Wrap(inner)
+		n, err := conn.Write(buf)
+		if err != nil || n != len(buf) {
+			t.Fatalf("read-reset write failed: n=%d err=%v", n, err)
+		}
+		if !bytes.Equal(inner.written(), buf) {
+			t.Fatalf("read-reset mangled the write")
+		}
+		_, rerr := conn.Read(make([]byte, 8))
+		if rerr == nil {
+			continue // fault not due yet; the stub ack was readable
+		}
+		if !errors.Is(rerr, ErrInjected) {
+			t.Fatalf("read failed with %v, want injected", rerr)
+		}
+		if !inner.closed {
+			t.Fatalf("inner conn not closed after read-reset")
+		}
+		return
+	}
+	t.Fatalf("read-reset fault never fired")
+}
+
+// TestDelayAccumulates: delay faults pass data through untouched and pile
+// simulated cycles onto the injector until drained.
+func TestDelayAccumulates(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 9, MeanGapBytes: 8, DelayCycles: 1234, Kinds: []Kind{KindDelay}})
+	inner := &bufConn{}
+	conn := inj.Wrap(inner)
+	var sent bytes.Buffer
+	for i := 0; i < 64; i++ {
+		chunk := []byte{byte(i), byte(i + 1), byte(i + 2)}
+		sent.Write(chunk)
+		if _, err := conn.Write(chunk); err != nil {
+			t.Fatalf("delay write failed: %v", err)
+		}
+	}
+	if !bytes.Equal(inner.written(), sent.Bytes()) {
+		t.Fatalf("delay faults altered the byte stream")
+	}
+	st := inj.Stats()
+	if st.Delays == 0 {
+		t.Fatalf("no delay faults fired")
+	}
+	if got, want := inj.TakeDelayCycles(), st.Delays*1234; got != want {
+		t.Fatalf("TakeDelayCycles = %d, want %d", got, want)
+	}
+	if inj.TakeDelayCycles() != 0 {
+		t.Fatalf("TakeDelayCycles did not drain")
+	}
+}
+
+// TestByteClockPersistsAcrossConns: wrapping a second conn does not
+// restart the schedule — the distance to the next fault carries over.
+func TestByteClockPersistsAcrossConns(t *testing.T) {
+	// One conn for the whole stream:
+	one := NewInjector(Plan{Seed: 11, MeanGapBytes: 100, Kinds: []Kind{KindDelay}})
+	cw := one.Wrap(&bufConn{})
+	for i := 0; i < 50; i++ {
+		if _, err := cw.Write(make([]byte, 17)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same stream split across five sequential conns:
+	two := NewInjector(Plan{Seed: 11, MeanGapBytes: 100, Kinds: []Kind{KindDelay}})
+	for c := 0; c < 5; c++ {
+		cw := two.Wrap(&bufConn{})
+		for i := 0; i < 10; i++ {
+			if _, err := cw.Write(make([]byte, 17)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if one.Stats() != two.Stats() {
+		t.Fatalf("schedule restarted across conns: %+v vs %+v", one.Stats(), two.Stats())
+	}
+}
+
+// TestMaxFaultsStopsInjecting: after MaxFaults faults the wrapper becomes
+// transparent.
+func TestMaxFaultsStopsInjecting(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 2, MeanGapBytes: 4, MaxFaults: 3, Kinds: []Kind{KindDelay}})
+	conn := inj.Wrap(&bufConn{})
+	for i := 0; i < 1000; i++ {
+		if _, err := conn.Write(make([]byte, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inj.Stats().Total(); got != 3 {
+		t.Fatalf("fired %d faults, want exactly MaxFaults=3", got)
+	}
+}
+
+// TestZeroMeanGapDisables: MeanGapBytes == 0 never injects.
+func TestZeroMeanGapDisables(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 77})
+	conn := inj.Wrap(&bufConn{})
+	for i := 0; i < 500; i++ {
+		if _, err := conn.Write(make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inj.Stats().Total() != 0 {
+		t.Fatalf("disabled plan injected faults: %+v", inj.Stats())
+	}
+}

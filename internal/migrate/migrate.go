@@ -119,14 +119,8 @@ type Report struct {
 //
 //govisor:serialonly(drives two VMs at once; migration rounds run outside worker context)
 func Migrate(src, dst *core.VM, opt Options) (Report, error) {
-	if src.State != core.StateRunning && src.State != core.StateIdle {
-		return Report{}, fmt.Errorf("migrate: source is %v", src.State)
-	}
-	if dst.State != core.StateCreated {
-		return Report{}, fmt.Errorf("migrate: destination is %v", dst.State)
-	}
-	if dst.Mem.Pages() < src.Mem.Pages() {
-		return Report{}, fmt.Errorf("migrate: destination RAM too small")
+	if err := validatePair(src, dst); err != nil {
+		return Report{}, err
 	}
 	switch opt.Mode {
 	case PreCopy:
@@ -137,6 +131,28 @@ func Migrate(src, dst *core.VM, opt Options) (Report, error) {
 		return postCopy(src, dst, opt)
 	}
 	return Report{}, fmt.Errorf("migrate: unknown mode %d", opt.Mode)
+}
+
+// validatePair vets a migration pair: a live source, an unbooted
+// destination with enough RAM, and — crucially — two distinct VMs over
+// distinct guest-physical spaces (self-migration silently corrupts state).
+func validatePair(src, dst *core.VM) error {
+	if src == dst {
+		return fmt.Errorf("migrate: source and destination are the same VM")
+	}
+	if src.Mem == dst.Mem {
+		return fmt.Errorf("migrate: source and destination share a guest-physical space")
+	}
+	if src.State != core.StateRunning && src.State != core.StateIdle {
+		return fmt.Errorf("migrate: source is %v", src.State)
+	}
+	if dst.State != core.StateCreated {
+		return fmt.Errorf("migrate: destination is %v", dst.State)
+	}
+	if dst.Mem.Pages() < src.Mem.Pages() {
+		return fmt.Errorf("migrate: destination RAM too small")
+	}
+	return nil
 }
 
 // sendPages transfers the given source pages into dst, running the source
@@ -258,8 +274,11 @@ func postCopy(src, dst *core.VM, opt Options) (Report, error) {
 	dst.CPU.AddCycles(c)
 
 	// Demand path: every not-present fault on the destination pulls the
-	// page from the source, paying RTT + transfer.
+	// page from the source, paying RTT + transfer. The source is paused, so
+	// its present set is frozen; once `sent` covers it the hook clears
+	// itself — otherwise demand-only mode would pin the source forever.
 	sent := make(map[uint64]bool)
+	presentTotal := src.Mem.Present()
 	buf := make([]byte, isa.PageSize)
 	dst.PageSource = func(gfn uint64) ([]byte, bool) {
 		if sent[gfn] {
@@ -270,8 +289,12 @@ func postCopy(src, dst *core.VM, opt Options) (Report, error) {
 		}
 		src.Mem.ReadRaw(gfn, buf)
 		sent[gfn] = true
+		if uint64(len(sent)) >= presentTotal {
+			dst.PageSource = nil
+		}
 		cost := opt.Link.RTTCycles + opt.Link.TxCycles(pageWireSize)
 		dst.CPU.AddCycles(cost)
+		rep.TotalCycles += cost
 		rep.BytesSent += pageWireSize
 		rep.RemoteFills++
 		page := make([]byte, isa.PageSize)

@@ -1,0 +1,163 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"govisor/internal/core"
+	"govisor/internal/isa"
+	"govisor/internal/mem"
+)
+
+// vmFingerprint digests everything Restore would touch, so tests can prove
+// a rejected stream changed nothing.
+func vmFingerprint(vm *core.VM) string {
+	var b bytes.Buffer
+	cpu := vm.CPU
+	for _, x := range cpu.X {
+		binary.Write(&b, binary.LittleEndian, x)
+	}
+	binary.Write(&b, binary.LittleEndian, cpu.PC)
+	binary.Write(&b, binary.LittleEndian, uint64(cpu.Priv))
+	binary.Write(&b, binary.LittleEndian, cpu.Cycles)
+	binary.Write(&b, binary.LittleEndian, cpu.CSR)
+	binary.Write(&b, binary.LittleEndian, uint64(vm.State))
+	binary.Write(&b, binary.LittleEndian, vm.Mem.Present())
+	buf := make([]byte, isa.PageSize)
+	for gfn := uint64(0); gfn < vm.Mem.Pages(); gfn++ {
+		vm.Mem.ReadRaw(gfn, buf)
+		b.Write(buf)
+	}
+	return b.String()
+}
+
+// goodSnapshot serializes a paused workload VM.
+func goodSnapshot(t *testing.T, pool *mem.Pool) []byte {
+	t.Helper()
+	src := runningVM(t, pool, "snap-src")
+	src.Pause()
+	var buf bytes.Buffer
+	if err := Save(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustRejectCleanly asserts Restore errors without panicking and without
+// touching a single byte of the target VM.
+func mustRejectCleanly(t *testing.T, pool *mem.Pool, name string, stream []byte) {
+	t.Helper()
+	dst := freshVM(t, pool, name)
+	before := vmFingerprint(dst)
+	err := Restore(dst, bytes.NewReader(stream))
+	if err == nil {
+		t.Fatalf("%s: corrupt stream accepted", name)
+	}
+	if vmFingerprint(dst) != before {
+		t.Fatalf("%s: rejected restore modified the VM (err was %v)", name, err)
+	}
+	if dst.State != core.StateCreated {
+		t.Fatalf("%s: rejected restore changed state to %v", name, dst.State)
+	}
+}
+
+// word offsets into the snapshot header (see Save).
+const (
+	offVersion = 8
+	offNPages  = 24
+	offCount   = 32 + 32*8 + 14*8 // after header words, GPRs and CPU words
+	offFirstG  = offCount + 8
+)
+
+// TestRestoreStagedRejection: every class of damage — truncation at each
+// region, bad version, oversized page count, out-of-range or duplicate
+// gfn — must error cleanly with zero partial adoption.
+func TestRestoreStagedRejection(t *testing.T) {
+	pool := mem.NewPool(16 * vmRAM >> isa.PageShift)
+	good := goodSnapshot(t, pool)
+	if len(good) < offFirstG+8+isa.PageSize {
+		t.Fatalf("snapshot unexpectedly small: %d bytes", len(good))
+	}
+	mut := func(off int, v uint64) []byte {
+		s := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint64(s[off:], v)
+		return s
+	}
+
+	cases := []struct {
+		name   string
+		stream []byte
+	}{
+		{"version-skew", mut(offVersion, version+1)},
+		{"npages-overflow", mut(offNPages, 1<<40)},
+		{"count-overflow", mut(offCount, ^uint64(0))},
+		{"count-exceeds-npages", mut(offCount, vmRAM>>isa.PageShift+1)},
+		{"gfn-out-of-range", mut(offFirstG, 1<<40)},
+		{"truncated-header", good[:offNPages+4]},
+		{"truncated-cpu", good[:offCount-8]},
+		{"truncated-mid-page", good[:offFirstG+8+100]},
+		{"truncated-last-page", good[:len(good)-1]},
+	}
+	// Duplicate gfn: make page 2's gfn equal page 1's.
+	if binary.LittleEndian.Uint64(good[offCount:]) >= 2 {
+		dup := append([]byte(nil), good...)
+		first := binary.LittleEndian.Uint64(dup[offFirstG:])
+		binary.LittleEndian.PutUint64(dup[offFirstG+8+isa.PageSize:], first)
+		cases = append(cases, struct {
+			name   string
+			stream []byte
+		}{"duplicate-gfn", dup})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mustRejectCleanly(t, pool, "dst-"+tc.name, tc.stream)
+		})
+	}
+	// The unmodified stream still restores — the mutations above, not the
+	// fixture, are what Restore rejected.
+	dst := freshVM(t, pool, "dst-good")
+	if err := Restore(dst, bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine stream rejected: %v", err)
+	}
+	if dst.State != core.StateRunning {
+		t.Fatalf("restored VM state %v", dst.State)
+	}
+}
+
+// TestRestoreRejectsBootedTarget: restoring over a running VM would splice
+// two machine states together; it must refuse before reading the stream.
+func TestRestoreRejectsBootedTarget(t *testing.T) {
+	pool := mem.NewPool(16 * vmRAM >> isa.PageShift)
+	good := goodSnapshot(t, pool)
+	dst := runningVM(t, pool, "booted")
+	if err := Restore(dst, bytes.NewReader(good)); err == nil {
+		t.Fatal("restore over a running VM accepted")
+	}
+	if dst.State != core.StateRunning {
+		t.Fatalf("rejected restore changed running VM state to %v", dst.State)
+	}
+}
+
+// TestCloneRejectsSelfAndAliased: cloning a VM onto itself or onto a shell
+// sharing its guest-physical space must fail cleanly.
+func TestCloneRejectsSelfAndAliased(t *testing.T) {
+	pool := mem.NewPool(8 * vmRAM >> isa.PageShift)
+	src := runningVM(t, pool, "src")
+	src.Pause()
+	if err := Clone(src, src); err == nil {
+		t.Fatal("self-clone accepted")
+	} else if !strings.Contains(err.Error(), "same VM") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	alias := *src
+	if err := Clone(src, &alias); err == nil {
+		t.Fatal("aliased-memory clone accepted")
+	} else if !strings.Contains(err.Error(), "guest-physical") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if src.State != core.StatePaused {
+		t.Fatalf("rejected clone changed source state to %v", src.State)
+	}
+}

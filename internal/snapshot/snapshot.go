@@ -78,7 +78,15 @@ func Save(vm *core.VM, w io.Writer) error {
 
 // Restore loads a snapshot stream into a freshly created (un-booted) VM of
 // at least the snapshot's memory size and marks it running.
+//
+// The stream is fully parsed and validated into temporaries before any VM
+// state is touched: a truncated, corrupted, or version-skewed stream is an
+// error that leaves the VM exactly as it was — never a panic, never a
+// half-adopted image.
 func Restore(vm *core.VM, r io.Reader) error {
+	if vm.State != core.StateCreated {
+		return fmt.Errorf("snapshot: restore target is %v, want freshly created", vm.State)
+	}
 	br := bufio.NewReader(r)
 	var scratch [8]byte
 	ru := func() (uint64, error) {
@@ -118,22 +126,65 @@ func Restore(vm *core.VM, r io.Reader) error {
 		return fmt.Errorf("snapshot: image has %d pages, VM has %d", npages, vm.Mem.Pages())
 	}
 
-	cpu := vm.CPU
-	for i := range cpu.X {
+	// Stage the CPU image.
+	var x [32]uint64
+	for i := range x {
 		v, err := ru()
 		if err != nil {
-			return err
+			return fmt.Errorf("snapshot: reading GPRs: %w", err)
 		}
-		cpu.X[i] = v
+		x[i] = v
 	}
 	vals := make([]uint64, 14)
 	for i := range vals {
 		v, err := ru()
 		if err != nil {
-			return err
+			return fmt.Errorf("snapshot: reading CPU state: %w", err)
 		}
 		vals[i] = v
 	}
+	if vals[1] > 3 {
+		return fmt.Errorf("snapshot: privilege %d out of range", vals[1])
+	}
+
+	// Stage the memory image. Save emits each present page at most once,
+	// so count is bounded by npages and gfns must be in-range and unique —
+	// anything else is corruption, caught here before a single page lands.
+	count, err := ru()
+	if err != nil {
+		return fmt.Errorf("snapshot: reading page count: %w", err)
+	}
+	if count > npages {
+		return fmt.Errorf("snapshot: page count %d exceeds image size %d", count, npages)
+	}
+	type staged struct {
+		gfn  uint64
+		data []byte
+	}
+	pages := make([]staged, 0, count)
+	seen := make([]byte, (npages+7)/8)
+	for i := uint64(0); i < count; i++ {
+		gfn, err := ru()
+		if err != nil {
+			return fmt.Errorf("snapshot: reading page %d gfn: %w", i, err)
+		}
+		if gfn >= npages {
+			return fmt.Errorf("snapshot: gfn %d outside image of %d pages", gfn, npages)
+		}
+		if seen[gfn>>3]&(1<<(gfn&7)) != 0 {
+			return fmt.Errorf("snapshot: gfn %d appears twice", gfn)
+		}
+		seen[gfn>>3] |= 1 << (gfn & 7)
+		buf := make([]byte, isa.PageSize)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("snapshot: page %d content: %w", gfn, err)
+		}
+		pages = append(pages, staged{gfn, buf})
+	}
+
+	// Everything parsed and validated: apply atomically.
+	cpu := vm.CPU
+	cpu.X = x
 	cpu.PC = vals[0]
 	cpu.Priv = uint8(vals[1])
 	cpu.Cycles = vals[2]
@@ -148,22 +199,9 @@ func Restore(vm *core.VM, r io.Reader) error {
 	cpu.CSR.Sip = vals[11]
 	cpu.CSR.Stimecmp = vals[12]
 	cpu.WriteCSR(isa.CSRSatp, vals[13])
-
-	count, err := ru()
-	if err != nil {
-		return err
-	}
-	buf := make([]byte, isa.PageSize)
-	for i := uint64(0); i < count; i++ {
-		gfn, err := ru()
-		if err != nil {
-			return err
-		}
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return fmt.Errorf("snapshot: page %d content: %w", gfn, err)
-		}
-		if err := vm.Mem.WriteRaw(gfn, buf); err != nil {
-			return err
+	for _, p := range pages {
+		if err := vm.Mem.WriteRaw(p.gfn, p.data); err != nil {
+			return fmt.Errorf("snapshot: applying gfn %d: %w", p.gfn, err)
 		}
 	}
 	vm.State = core.StateRunning
@@ -175,6 +213,12 @@ func Restore(vm *core.VM, r io.Reader) error {
 // and splits lazily as either side writes. dst must be freshly created with
 // the same configuration.
 func Clone(src, dst *core.VM) error {
+	if src == dst {
+		return fmt.Errorf("snapshot: clone source and destination are the same VM")
+	}
+	if src.Mem == dst.Mem {
+		return fmt.Errorf("snapshot: clone source and destination share a guest-physical space")
+	}
 	if dst.State != core.StateCreated {
 		return fmt.Errorf("snapshot: clone destination is %v", dst.State)
 	}
