@@ -71,6 +71,7 @@ func BenchmarkM4_Dispatch(b *testing.B)       { runExperiment(b, "M4") }
 func BenchmarkM5_WriteMemo(b *testing.B)      { runExperiment(b, "M5") }
 func BenchmarkM6_BlockChain(b *testing.B)     { runExperiment(b, "M6") }
 func BenchmarkM7_Evacuation(b *testing.B)     { runExperiment(b, "M7") }
+func BenchmarkM8_HotTraces(b *testing.B)      { runExperiment(b, "M8") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

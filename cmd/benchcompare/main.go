@@ -89,8 +89,44 @@ func metrics(t *table) (map[string]float64, error) {
 	return out, nil
 }
 
+// summaryRow is one gated comparison, retained for the markdown summary.
+type summaryRow struct {
+	id, key, status string
+	base, cur       float64
+}
+
+// writeSummary appends the per-row comparison table as GitHub-flavoured
+// markdown — the shape $GITHUB_STEP_SUMMARY renders on the run page. Written
+// on failure too, so a red gate shows exactly which row tripped it.
+func writeSummary(path string, rows []summaryRow, failed int, tolerance float64) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: summary: %v\n", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "### Perf gate: %s, best-of-N vs baseline (tolerance %.0f%%)\n\n", metricColumn, tolerance*100)
+	fmt.Fprintln(f, "| table | row | baseline | current | ratio | status |")
+	fmt.Fprintln(f, "|---|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := r.status
+		if status == "REGRESSION" {
+			status = "**REGRESSION**"
+		}
+		// Row keys join cells with " | "; escape so they stay one column.
+		fmt.Fprintf(f, "| %s | %s | %.1f | %.1f | %.2fx | %s |\n",
+			r.id, strings.ReplaceAll(r.key, "|", "\\|"), r.base, r.cur, r.cur/r.base, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(f, "\n**%d regression(s)/mismatch(es) beyond tolerance.**\n", failed)
+	} else {
+		fmt.Fprintf(f, "\nAll gated metrics within tolerance.\n")
+	}
+}
+
 func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression of "+metricColumn)
+	summary := flag.String("summary", "", "append a markdown per-row table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 	if flag.NArg() < 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcompare [-tolerance F] BASELINE_DIR CURRENT_DIR...")
@@ -106,6 +142,7 @@ func main() {
 	sort.Strings(paths)
 
 	failed := 0
+	var sumRows []summaryRow
 	for _, basePath := range paths {
 		name := filepath.Base(basePath)
 		base, err := load(basePath)
@@ -186,6 +223,7 @@ func main() {
 				status = "REGRESSION"
 				failed++
 			}
+			sumRows = append(sumRows, summaryRow{id: base.ID, key: k, status: status, base: b, cur: c})
 			fmt.Printf("%-4s %-60s %8.1f → %8.1f ns/instr (%.2fx) %s\n",
 				base.ID, k, b, c, ratio, status)
 		}
@@ -206,6 +244,9 @@ func main() {
 				failed++
 			}
 		}
+	}
+	if *summary != "" {
+		writeSummary(*summary, sumRows, failed, *tolerance)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "benchcompare: %d regression(s)/mismatch(es) beyond %.0f%% tolerance\n",

@@ -9,23 +9,23 @@ import (
 	"govisor/internal/metrics"
 )
 
-// M6BlockChain: host-side interpreter throughput with cross-page superblock
-// continuation and block chaining on vs off (icache, superblocks, threaded
-// dispatch and the write memo stay on in both arms, so the comparison
-// isolates the chaining layer on top of PR 3/4/5). Guest cycles and retired
-// instructions must be byte-identical in both configurations — enforced
-// below, and proven in full by the differential suites in internal/vcpu and
-// internal/guest — while host nanoseconds per guest instruction drop. The
-// workloads are the layer's target shapes: an unrolled ALU body longer than
-// a code page (every iteration's block run crosses page boundaries mid-run)
-// and a short loop parked across a boundary (the unchained arm pays a full
-// fetch translation and icache lookup at the boundary and the back edge of
-// every iteration). Only the RunToHalt phase is timed, after a warm-up run
-// per configuration; the chained arm's rows also report the chain-cache
-// counters, which are deterministic in a serial run.
-func M6BlockChain() (*metrics.Table, error) {
+// M8HotTraces: host-side interpreter throughput with hot-trace formation on
+// vs off (icache, superblocks, threaded dispatch, the write memo and block
+// chaining stay on in both arms, so the comparison isolates the trace layer
+// on top of PR 7's chain cache). Guest cycles and retired instructions must
+// be byte-identical in both configurations — enforced below, and proven in
+// full by the differential suites in internal/vcpu and internal/guest —
+// while host nanoseconds per guest instruction drop. The workloads are the
+// layer's target shapes: the short loop parked across a page boundary (a
+// closed-loop trace iterates inside the engine, paying the outer fetch loop
+// once per pass instead of twice per iteration), the page-crossing unrolled
+// ALU body, and the in-page ALU stream as a floor check. Only the RunToHalt
+// phase is timed, after a warm-up run per configuration; the traced arm's
+// rows also report the trace telemetry (formations / entries / demotions),
+// which is deterministic in a serial run.
+func M8HotTraces() (*metrics.Table, error) {
 	t := &metrics.Table{Header: []string{
-		"mode", "workload", "config", "guest instrs", "guest cycles", "host ns/instr", "speedup", "chain",
+		"mode", "workload", "config", "guest instrs", "guest cycles", "host ns/instr", "speedup", "traces",
 	}}
 
 	type stream struct {
@@ -34,8 +34,9 @@ func M6BlockChain() (*metrics.Table, error) {
 		unroll uint64
 	}
 	streams := []stream{
-		{guest.StreamXPageALU, scaled(8000), 2200},
 		{guest.StreamXPageLoop, scaled(900000), 12},
+		{guest.StreamXPageALU, scaled(8000), 2200},
+		{guest.StreamALU, scaled(30000), 512},
 	}
 
 	for _, mode := range []core.Mode{core.ModeNative, core.ModeHW} {
@@ -48,10 +49,8 @@ func M6BlockChain() (*metrics.Table, error) {
 				vm     *core.VM
 				hostNs float64
 			}
-			run := func(noChain bool) (result, error) {
-				// Traces (M8's layer) are pinned off in both arms so the
-				// comparison keeps isolating the chaining layer itself.
-				vm, err := newVM(mode, func(c *core.Config) { c.NoBlockChain, c.NoTraces = noChain, true })
+			run := func(noTraces bool) (result, error) {
+				vm, err := newVM(mode, func(c *core.Config) { c.NoTraces = noTraces })
 				if err != nil {
 					return result{}, err
 				}
@@ -62,7 +61,7 @@ func M6BlockChain() (*metrics.Table, error) {
 				st := vm.RunToHalt(benchBudget)
 				elapsed := float64(time.Since(start).Nanoseconds())
 				if st != core.StateHalted || vm.HaltCode != 0 {
-					return result{}, fmt.Errorf("bench: M6 %v/%v guest ended %v halt %#x",
+					return result{}, fmt.Errorf("bench: M8 %v/%v guest ended %v halt %#x",
 						mode, s.kind, st, vm.HaltCode)
 				}
 				return result{vm, elapsed}, nil
@@ -83,7 +82,7 @@ func M6BlockChain() (*metrics.Table, error) {
 			}
 			// The transparency property, enforced at benchmark time.
 			if on.vm.CPU.Cycles != off.vm.CPU.Cycles || on.vm.CPU.Instret != off.vm.CPU.Instret {
-				return nil, fmt.Errorf("bench: block chaining is not invisible: on (cyc=%d ret=%d) off (cyc=%d ret=%d)",
+				return nil, fmt.Errorf("bench: hot traces are not invisible: on (cyc=%d ret=%d) off (cyc=%d ret=%d)",
 					on.vm.CPU.Cycles, on.vm.CPU.Instret, off.vm.CPU.Cycles, off.vm.CPU.Instret)
 			}
 			ic := on.vm.CPU.ICache.Stats
@@ -92,10 +91,10 @@ func M6BlockChain() (*metrics.Table, error) {
 			nsOn := on.hostNs / instrs
 			t.AddRow(mode.String(), s.kind.String(), "reference", fmt.Sprintf("%.0f", instrs),
 				fmt.Sprint(off.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOff), "1.00x", "-")
-			t.AddRow(mode.String(), s.kind.String(), "chained", fmt.Sprintf("%.0f", instrs),
+			t.AddRow(mode.String(), s.kind.String(), "traced", fmt.Sprintf("%.0f", instrs),
 				fmt.Sprint(on.vm.CPU.Cycles), fmt.Sprintf("%.1f", nsOn),
 				fmt.Sprintf("%.2fx", nsOff/nsOn),
-				fmt.Sprintf("%d hits / %d crossings", ic.ChainHits, ic.Crossings))
+				fmt.Sprintf("%d formed / %d entries / %d demotions", ic.TraceFormations, ic.TraceEntries, ic.TraceDemotions))
 		}
 	}
 	return t, nil

@@ -65,5 +65,7 @@ func All() []Experiment {
 			"≥1.2× lower host ns/guest-instr on the cross-page streams vs NoBlockChain with identical guest cycles (chaining is architecturally invisible)"},
 		{"M7", "Resilience: streamed-migration host evacuation", M7Evacuation,
 			"every VM drains byte-identically over real wire connections, clean and under the seeded fault schedule; downtime percentiles, retries and resumes are deterministic"},
+		{"M8", "Simulator: hot-trace formation on the chain cache", M8HotTraces,
+			"boundary-straddling loop <7 host ns/guest-instr and ALU streams <6 vs NoTraces with identical guest cycles (traces are architecturally invisible)"},
 	}
 }

@@ -150,6 +150,14 @@ type Config struct {
 	// NoICache and NoSuperblocks each imply no chaining (links live in
 	// predecoded pages and anchor at block boundaries).
 	NoBlockChain bool
+	// NoTraces pins execution to the per-dispatch chained-block reference
+	// arm: hot chain links are never promoted to traces (multi-block runs
+	// with one entry check, whole-span admission and batched accounting) —
+	// same invisibility contract; the arm exists for the differential
+	// transparency tests and the M8 hot-trace benchmark. NoBlockChain (and
+	// so NoICache / NoSuperblocks) implies no traces: traces are built from
+	// and entered through chain links.
+	NoTraces bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -272,6 +280,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 	cpu.NoThreadedDispatch = cfg.NoThreadedDispatch
 	cpu.NoWriteMemo = cfg.NoWriteMemo
 	cpu.NoBlockChain = cfg.NoBlockChain || cfg.NoSuperblocks || cfg.NoICache
+	cpu.NoTraces = cfg.NoTraces || cpu.NoBlockChain
 
 	vm := &VM{
 		Name:        cfg.Name,

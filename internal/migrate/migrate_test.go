@@ -33,7 +33,7 @@ func pair(t *testing.T, dirtyPages, thinkOps uint64) (*core.VM, *core.VM) {
 		t.Fatal(err)
 	}
 	// Warm up: let the workload touch its pages.
-	src.Step(5_000_000)
+	src.Step(5_000_000 / raceScale)
 	if src.State != core.StateRunning {
 		t.Fatalf("source state %v (err=%v)", src.State, src.Err)
 	}
@@ -48,7 +48,7 @@ func pair(t *testing.T, dirtyPages, thinkOps uint64) (*core.VM, *core.VM) {
 func verifyDestRuns(t *testing.T, dst *core.VM) {
 	t.Helper()
 	before := dst.Result(gabi.PResult0)
-	dst.Step(50_000_000)
+	dst.Step(50_000_000 / raceScale)
 	if dst.State == core.StateError {
 		t.Fatalf("destination errored: %v", dst.Err)
 	}
@@ -140,7 +140,7 @@ func TestPreCopyDirtyRoundsObserveWriteMemo(t *testing.T) {
 		if err := src.Boot(kernel); err != nil {
 			t.Fatal(err)
 		}
-		src.Step(5_000_000)
+		src.Step(5_000_000 / raceScale)
 		if src.State != core.StateRunning {
 			t.Fatalf("source state %v (err=%v)", src.State, src.Err)
 		}
@@ -280,7 +280,7 @@ func TestPostCopyTinyDowntime(t *testing.T) {
 			postRep.DowntimeCycles, preRep.DowntimeCycles)
 	}
 	// Destination runs with demand fetches.
-	dst2.Step(100_000_000)
+	dst2.Step(100_000_000 / raceScale)
 	if dst2.State == core.StateError {
 		t.Fatalf("dest errored: %v", dst2.Err)
 	}

@@ -1,0 +1,6 @@
+//go:build race
+
+package migrate
+
+// raceScale under the race detector: see race_off_test.go.
+const raceScale = 8

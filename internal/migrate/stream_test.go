@@ -105,8 +105,8 @@ func TestStreamFaultFreeMatchesInProcess(t *testing.T) {
 			}
 			// Run both destinations onward: demand fills (post-copy) and
 			// ordinary execution must stay in lockstep.
-			dstA.Step(30_000_000)
-			dstB.Step(30_000_000)
+			dstA.Step(30_000_000 / raceScale)
+			dstB.Step(30_000_000 / raceScale)
 			if da, db := snapVM(dstA), snapVM(dstB); da != db {
 				t.Errorf("post-migration execution diverged")
 			}

@@ -323,6 +323,27 @@ func (c *Context) ChainFetch(s *FetchSnap, va uint64, userMode bool) bool {
 	return true
 }
 
+// CheckFetchSnap reports whether a snapshot still provably describes what a
+// fresh TranslateFetch(va) would do — the read-only half of ChainFetch: same
+// SATP (same address space and paging mode), same privilege, same virtual
+// page, and no TLB insert or flush since the snapshot. It performs no
+// bookkeeping and installs nothing, so it may be called any number of times
+// without perturbing the statistics the differential suites compare.
+//
+// The vCPU's trace engine uses it to pre-validate every constituent page of
+// a hot trace at entry (multi-page revalidation with one check per page);
+// the exact stat replay still happens per hop boundary via ChainFetch, so a
+// traced run's translation counters and TLB LRU evolution are byte-identical
+// to the block path's. The validation conditions must stay in lockstep with
+// ChainFetch: a condition ChainFetch gains that this check lacks only costs
+// a failed boundary replay (the trace demotes), never a stale translation.
+func (c *Context) CheckFetchSnap(s *FetchSnap, va uint64, userMode bool) bool {
+	if !s.valid || c.Satp != s.satp || userMode != s.user || va>>isa.PageShift != s.vpn {
+		return false
+	}
+	return !s.paged || c.TLB.Gen() == s.gen
+}
+
 // ReplayFetch replays the accounting of one more instruction fetch from the
 // virtual page the fetch memo currently covers — the superblock engine's
 // per-instruction fetch, where the block entry already performed the real
@@ -346,6 +367,31 @@ func (c *Context) ReplayFetch(va uint64) bool {
 	}
 	c.Stats.Translations++
 	c.TLB.Touch(m.entry)
+	return true
+}
+
+// ReplayFetchSpan folds n consecutive same-page ReplayFetch calls into one
+// step: one memo validation, then the batched bookkeeping (n translations,
+// TLB.TouchN). Bit-identical to the n individual calls — but only when the
+// caller proves nothing between the folded fetches can touch the TLB or
+// this memo: the block engines use it for straight-line spans containing no
+// memory operations (pure ALU cannot trap, flush, insert or re-translate),
+// where each per-instruction replay would hit the same memo entry and Touch
+// the same TLB entry back to back.
+func (c *Context) ReplayFetchSpan(va, n uint64) bool {
+	m := &c.fetch
+	if !m.valid || va>>isa.PageShift != m.vpn {
+		return false
+	}
+	if !m.paged {
+		c.Stats.Translations += n
+		return true
+	}
+	if c.TLB.Gen() != m.gen {
+		return false
+	}
+	c.Stats.Translations += n
+	c.TLB.TouchN(m.entry, n)
 	return true
 }
 

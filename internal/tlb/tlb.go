@@ -138,6 +138,17 @@ func (t *TLB) Touch(e *Entry) {
 	t.Stats.Hits++
 }
 
+// TouchN folds n consecutive Touch calls on the same entry into one step:
+// the clock advances by n, the entry's stamp lands at the final clock value
+// and the hit count grows by n — bit-identical to the n individual calls.
+// Exact only when the caller proves nothing else touches the TLB between
+// the folded hits (no other lookups, inserts or flushes interleave).
+func (t *TLB) TouchN(e *Entry, n uint64) {
+	t.clock += n
+	e.stamp = t.clock
+	t.Stats.Hits += n
+}
+
 // Insert caches a translation, evicting the LRU way if the set is full.
 func (t *TLB) Insert(asid uint16, va, ppn uint64, perms uint8, global bool) {
 	vpn := va >> isa.PageShift

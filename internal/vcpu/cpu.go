@@ -89,6 +89,17 @@ type CPU struct {
 	// isolates the chaining win in benchmark M6.
 	NoBlockChain bool
 
+	// NoTraces pins execution to the per-dispatch chained-block path: hot
+	// chain links never promote to traces (trace.go) — the multi-block
+	// straight-line runs with one entry check, one admission over the whole
+	// span and batched accounting that let closed loops iterate without
+	// returning to the fetch loop. Traces are architecturally invisible
+	// like the engines above; this arm is the differential reference for
+	// the transparency tests and isolates the trace win in benchmark M8.
+	// Implied by NoBlockChain (core.Config wires the implication): traces
+	// are built from and entered through chain links.
+	NoTraces bool
+
 	// pendExit carries the rare Exit out of the threaded executors and the
 	// superblock engine so the per-instruction status stays a small int
 	// (see dispatch.go).
@@ -291,6 +302,7 @@ func (c *CPU) Run(budget uint64) Exit {
 			var i, gfn, gpa uint64
 			var recSrc *decodedPage
 			var recSlot uint16
+			var hitLink *chainLink
 			if c.chainArmed {
 				src, slot := c.chainPage, c.chainSlot
 				c.chainArmed = false
@@ -307,6 +319,7 @@ func (c *CPU) Run(budget uint64) Exit {
 						c.Mem.PageVersion(l.gfn) == l.page.ver &&
 						c.MMU.ChainFetch(&l.snap, c.PC, c.Priv == PrivU) {
 						p, i, gfn = l.page, uint64(l.tslot), l.gfn
+						hitLink = l
 						ic.noteChainHit(gfn, p)
 					} else {
 						ic.Stats.ChainMisses++
@@ -341,6 +354,27 @@ func (c *CPU) Run(budget uint64) Exit {
 				// its cycle span; otherwise fall through to the exact
 				// per-instruction path below.
 				if !c.NoSuperblocks && p.blkLen[i] > 1 {
+					if hitLink != nil && !c.NoTraces {
+						// Trace layer (trace.go): a validated chain consume
+						// is the only way in. A link that already carries a
+						// trace dispatches it (one entry check, whole-span
+						// admission, batched run); otherwise the consume
+						// heats the link toward promotion.
+						if tr := hitLink.tr; tr != nil {
+							ex, done, dispatched := c.runTrace(tr, deadline)
+							if dispatched {
+								if done {
+									return ex
+								}
+								continue
+							}
+						} else if hitLink.heat < traceHotThreshold {
+							hitLink.heat++
+							if hitLink.heat == traceHotThreshold {
+								c.formTrace(hitLink)
+							}
+						}
+					}
 					ex, done, dispatched := c.runBlock(p, i, gfn, deadline)
 					if dispatched {
 						if done {

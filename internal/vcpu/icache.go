@@ -65,10 +65,12 @@ type chainLink struct {
 	valid bool
 	slot  uint16 // source slot (direct-mapped tag)
 	tslot uint16 // target slot within the successor page
+	heat  uint16 // consecutive validated consumes; trace forms at threshold
 	pc    uint64 // successor virtual PC observed at record time
 	gfn   uint64 // successor guest-physical page
 	page  *decodedPage
 	snap  mmu.FetchSnap
+	tr    *trace // hot trace entered through this link, nil until promoted
 }
 
 // The lazy slot decode (check valid bit, isa.Decode on first touch) lives
@@ -88,6 +90,11 @@ type ICacheStats struct {
 	ChainMisses   uint64 // chain consults that found no link or a stale one
 	ChainResolves uint64 // links recorded or refreshed
 	Crossings     uint64 // superblocks continued across a page boundary
+
+	TraceFormations    uint64 // hot chains lowered into traces
+	TraceEntries       uint64 // trace passes entered (one per loop iteration)
+	TraceDemotions     uint64 // entries rejected or passes cut back to blocks
+	TraceInvalidations uint64 // traces dropped (stale beyond repair, evicted)
 }
 
 // ICache is the decoded-instruction block cache on the interpreter's fetch
@@ -107,6 +114,9 @@ type ICache struct {
 	cur    *decodedPage
 	tick   uint64 // advances on fills and MRU transitions; orders eviction
 	buf    [isa.PageSize]byte
+	// traces is the trace store (trace.go): a slice, not a map, so eviction
+	// scans and registration order are deterministic run to run.
+	traces []*trace
 	Stats  ICacheStats
 }
 
@@ -262,5 +272,9 @@ func (ic *ICache) Counters() *metrics.CounterSet {
 	s.Add("icache_chain_misses", ic.Stats.ChainMisses)
 	s.Add("icache_chain_resolves", ic.Stats.ChainResolves)
 	s.Add("icache_block_crossings", ic.Stats.Crossings)
+	s.Add("icache_trace_formations", ic.Stats.TraceFormations)
+	s.Add("icache_trace_entries", ic.Stats.TraceEntries)
+	s.Add("icache_trace_demotions", ic.Stats.TraceDemotions)
+	s.Add("icache_trace_invalidations", ic.Stats.TraceInvalidations)
 	return s
 }

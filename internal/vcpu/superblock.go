@@ -88,7 +88,8 @@ func (c *CPU) blockAdmissible(n, memOps, deadline uint64) bool {
 // boundaries land on exactly the same instruction as the unchained run.
 func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done, dispatched bool) {
 	n := uint64(p.blkLen[idx])
-	if !c.blockAdmissible(n, uint64(p.blkMem[idx]), deadline) {
+	memOps := uint64(p.blkMem[idx])
+	if !c.blockAdmissible(n, memOps, deadline) {
 		return Exit{}, false, false
 	}
 
@@ -98,67 +99,14 @@ func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done
 	// duration; outside blocks the sentinel never matches a store.
 	c.codeGfn = gfn
 	for {
-		var retired uint64
-		clean := true
-	loop:
-		for retired < n {
-			j := idx + retired
-			if p.valid[j>>6]&(1<<(j&63)) == 0 {
-				p.ins[j] = isa.Decode(p.raw[j])
-				p.fn[j] = execTable.For(p.ins[j].Op)
-				p.valid[j>>6] |= 1 << (j & 63)
-			}
-			in := p.ins[j]
-			if retired > 0 && !c.MMU.ReplayFetch(c.PC) {
-				clean = false
-				break // TLB insert/flush under the fetch stream: resume slow
-			}
-			retired++
-			// Statuses stay small ints and the rare Exit goes through
-			// c.pendExit, keeping the large Exit struct out of the
-			// per-instruction return path.
-			var st int
-			if threaded {
-				// Block-specialized execution: every instruction — stores
-				// included — runs the slot's decode-time-resolved executor.
-				st = p.fn[j](c, in, p.raw[j])
-			} else {
-				switch {
-				case isa.IsLoad(in.Op):
-					st = c.blockLoad(in)
-				case isa.IsStore(in.Op):
-					st = c.blockStore(in)
-				default:
-					pcNext := c.PC + 4
-					ex, d := c.execute(in, p.raw[j])
-					if d {
-						c.codeGfn = mem.NoFrame
-						c.Cycles += retired * instr
-						c.Instret += retired
-						return ex, true, true
-					}
-					if c.PC == pcNext {
-						st = stOK
-					} else {
-						st = stTrap
-					}
-				}
-			}
-			switch st {
-			case stOK:
-			case stExit:
-				c.codeGfn = mem.NoFrame
-				c.Cycles += retired * instr
-				c.Instret += retired
-				return c.pendExit, true, true
-			default: // stTrap: control redirected; stSMC: the block wrote itself
-				clean = false
-				break loop
-			}
-		}
+		retired, st := c.retireRun(p, idx, n, threaded, memOps == 0)
 		c.Cycles += retired * instr
 		c.Instret += retired
-		if !clean || idx+n < instPerPage || c.NoBlockChain {
+		if st == stExit {
+			c.codeGfn = mem.NoFrame
+			return c.pendExit, true, true
+		}
+		if st != stOK || idx+n < instPerPage || c.NoBlockChain {
 			break
 		}
 		// The run was cut by the page boundary, not a terminator. Arm the
@@ -172,20 +120,124 @@ func (c *CPU) runBlock(p *decodedPage, idx, gfn, deadline uint64) (ex Exit, done
 			break
 		}
 		tn := uint64(l.page.blkLen[l.tslot])
-		if tn == 0 || !c.blockAdmissible(tn, uint64(l.page.blkMem[l.tslot]), deadline) {
+		tm := uint64(l.page.blkMem[l.tslot])
+		if tn == 0 || !c.blockAdmissible(tn, tm, deadline) {
 			break
 		}
 		if !c.MMU.ChainFetch(&l.snap, c.PC, c.Priv == PrivU) {
 			break
 		}
 		c.chainArmed = false
-		p, gfn, idx, n = l.page, l.gfn, uint64(l.tslot), tn
+		p, gfn, idx, n, memOps = l.page, l.gfn, uint64(l.tslot), tn, tm
 		c.ICache.noteChainHit(gfn, p)
 		c.ICache.Stats.Crossings++
 		c.codeGfn = gfn
 	}
 	c.codeGfn = mem.NoFrame
 	return Exit{}, false, true
+}
+
+// stBail is a retireRun-local status: the fetch replay could not prove the
+// memoized translation still exact (TLB insert/flush under the fetch stream),
+// so the run ended at an instruction boundary without retiring the slot.
+const stBail = -1
+
+// retireRun executes up to n straight-line predecoded instructions starting
+// at slot idx of page p — the body loop shared by the superblock engine and
+// the trace engine (trace.go), so the two retire instructions through
+// literally the same code. The caller has already performed (or exactly
+// replayed) the fetch translation of the first instruction; subsequent
+// fetches replay through mmu.Context.ReplayFetch. The caller batches the
+// cycle/instret accounting for the retired count. Status is stOK when all n
+// retired cleanly, stExit when Run must return c.pendExit, stTrap/stSMC when
+// the run ended early at an instruction boundary (guest trap redirected
+// control / the body stored into its own code page — both counted in
+// retired), or stBail when the fetch replay failed before the slot retired.
+//
+// memless asserts the run contains no memory operations (blkMem == 0).
+// Every such instruction — the straight-line set minus loads/stores is pure
+// ALU plus FENCE — unconditionally retires with PC advancing one word:
+// nothing can trap, exit, store into the code page, or touch the TLB or the
+// fetch memo. The engine exploits that with a batched span replay
+// (mmu.ReplayFetchSpan, bit-identical bookkeeping because no data-side
+// touch can interleave with the folded fetch hits) and a body loop with no
+// per-instruction replay or status dispatch.
+func (c *CPU) retireRun(p *decodedPage, idx, n uint64, threaded, memless bool) (retired uint64, status int) {
+	if memless && n > 1 && c.MMU.ReplayFetchSpan(c.PC, n-1) {
+		if threaded {
+			for retired < n {
+				j := idx + retired
+				if p.valid[j>>6]&(1<<(j&63)) == 0 {
+					p.ins[j] = isa.Decode(p.raw[j])
+					p.fn[j] = execTable.For(p.ins[j].Op)
+					p.valid[j>>6] |= 1 << (j & 63)
+				}
+				p.fn[j](c, p.ins[j], p.raw[j])
+				retired++
+			}
+		} else {
+			for retired < n {
+				j := idx + retired
+				if p.valid[j>>6]&(1<<(j&63)) == 0 {
+					p.ins[j] = isa.Decode(p.raw[j])
+					p.fn[j] = execTable.For(p.ins[j].Op)
+					p.valid[j>>6] |= 1 << (j & 63)
+				}
+				c.execute(p.ins[j], p.raw[j])
+				retired++
+			}
+		}
+		return n, stOK
+	}
+	for retired < n {
+		j := idx + retired
+		if p.valid[j>>6]&(1<<(j&63)) == 0 {
+			p.ins[j] = isa.Decode(p.raw[j])
+			p.fn[j] = execTable.For(p.ins[j].Op)
+			p.valid[j>>6] |= 1 << (j & 63)
+		}
+		in := p.ins[j]
+		if retired > 0 && !c.MMU.ReplayFetch(c.PC) {
+			return retired, stBail // TLB insert/flush under the fetch stream
+		}
+		retired++
+		// Statuses stay small ints and the rare Exit goes through
+		// c.pendExit, keeping the large Exit struct out of the
+		// per-instruction return path.
+		var st int
+		if threaded {
+			// Block-specialized execution: every instruction — stores
+			// included — runs the slot's decode-time-resolved executor.
+			st = p.fn[j](c, in, p.raw[j])
+		} else {
+			switch {
+			case isa.IsLoad(in.Op):
+				st = c.blockLoad(in)
+			case isa.IsStore(in.Op):
+				st = c.blockStore(in)
+			default:
+				pcNext := c.PC + 4
+				ex, d := c.execute(in, p.raw[j])
+				if d {
+					c.pendExit = ex
+					return retired, stExit
+				}
+				if c.PC == pcNext {
+					st = stOK
+				} else {
+					st = stTrap
+				}
+			}
+		}
+		switch st {
+		case stOK:
+		case stExit:
+			return retired, stExit
+		default: // stTrap: control redirected; stSMC: the run wrote itself
+			return retired, st
+		}
+	}
+	return retired, stOK
 }
 
 // blockLoad is the load entry for the reference (switch-dispatch) block arm:
