@@ -72,6 +72,7 @@ func BenchmarkM5_WriteMemo(b *testing.B)      { runExperiment(b, "M5") }
 func BenchmarkM6_BlockChain(b *testing.B)     { runExperiment(b, "M6") }
 func BenchmarkM7_Evacuation(b *testing.B)     { runExperiment(b, "M7") }
 func BenchmarkM8_HotTraces(b *testing.B)      { runExperiment(b, "M8") }
+func BenchmarkM9_Dataplane(b *testing.B)      { runExperiment(b, "M9") }
 
 // ---- microbenchmarks of the simulator's own hot paths ----
 

@@ -164,10 +164,14 @@ func writeSet(pkg *Package, fd *ast.FuncDecl, decls map[string]*ast.FuncDecl, me
 		case *ast.IncDecStmt:
 			addTarget(st.X)
 		case *ast.CallExpr:
-			// Atomic mutations count as writes too (&s.f first arg).
+			// Atomic mutations count as writes too (&s.f first arg). Pure
+			// observations (atomic.Load*) are not mutations: a fast path
+			// validating against an epoch counter does not thereby write it.
 			if isAtomicCall(pkg.Info, st) && len(st.Args) > 0 {
-				if u, ok := ast.Unparen(st.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
-					addTarget(u.X)
+				if fn := funcObj(pkg.Info, st); fn != nil && !strings.HasPrefix(fn.Name(), "Load") {
+					if u, ok := ast.Unparen(st.Args[0]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+						addTarget(u.X)
+					}
 				}
 				return true
 			}

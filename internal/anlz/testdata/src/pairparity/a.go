@@ -1,5 +1,7 @@
 package pptest
 
+import "sync/atomic"
+
 type C struct {
 	Cycles  uint64
 	Instret uint64
@@ -105,3 +107,28 @@ func (c *C) slowGuarded() { c.Cycles++ }
 func (c *C) orphan() { // want "not found"
 	c.Cycles++
 }
+
+// Negative: an atomic Load is an observation, not a mutation — a fast path
+// validating against an epoch counter its reference arm never touches has
+// not drifted.
+//
+//govisor:pair slowEpochRef
+func (c *C) fastEpochProbe() {
+	if atomic.LoadUint64(&c.Instret) == 0 {
+		return
+	}
+	c.Cycles++
+}
+
+func (c *C) slowEpochRef() { c.Cycles++ }
+
+// Positive: mutating atomics still count — an atomic Add the reference arm
+// lacks is drift like any other bump.
+//
+//govisor:pair slowAtomicAdd
+func (c *C) fastAtomicAdd() { // want "reference arm slowAtomicAdd does not"
+	atomic.AddUint64(&c.misses, 1)
+	c.Cycles++
+}
+
+func (c *C) slowAtomicAdd() { c.Cycles++ }

@@ -67,5 +67,7 @@ func All() []Experiment {
 			"every VM drains byte-identically over real wire connections, clean and under the seeded fault schedule; downtime percentiles, retries and resumes are deterministic"},
 		{"M8", "Simulator: hot-trace formation on the chain cache", M8HotTraces,
 			"boundary-straddling loop <7 host ns/guest-instr and ALU streams <6 vs NoTraces with identical guest cycles (traces are architecturally invisible)"},
+		{"M9", "Dataplane: span-DMA memo and sharded timestamp-ordered switch", M9Dataplane,
+			"16-VM unicast storm: lower host ns/guest-instr than the NoSpanDMA arm with byte-identical guest cycles, host clock and switch counters across arms and worker counts"},
 	}
 }

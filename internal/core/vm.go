@@ -158,6 +158,12 @@ type Config struct {
 	// so NoICache / NoSuperblocks) implies no traces: traces are built from
 	// and entered through chain links.
 	NoTraces bool
+	// NoSpanDMA pins guest-physical DMA to the unmemoized reference arm:
+	// ReadSpan/WriteSpan resolve every page through the per-access Read/Write
+	// path instead of the epoch-validated span memo — same invisibility
+	// contract as the write memo; the arm exists for the differential
+	// transparency tests and the M9 dataplane benchmark.
+	NoSpanDMA bool
 }
 
 // Marker is a benchmark region marker recorded by the HCMarker hypercall.
@@ -244,6 +250,7 @@ func NewVM(pool *mem.Pool, cfg Config) (*VM, error) {
 		return nil, fmt.Errorf("core: %s: at least 32 pages of RAM required", cfg.Name)
 	}
 	g := mem.NewGuestPhys(pool, cfg.MemBytes)
+	g.SetNoSpanDMA(cfg.NoSpanDMA)
 
 	var style mmu.Style
 	depriv := false
@@ -337,6 +344,7 @@ func (vm *VM) AttachRegNIC(port *vnet.Port) (*dev.RegNIC, error) {
 	if err := vm.Bus.Attach(dev.RegNICBase, dev.RegNICSize, n); err != nil {
 		return nil, err
 	}
+	port.SetClock(func() uint64 { return vm.CPU.Cycles })
 	vm.netPorts = append(vm.netPorts, port)
 	return n, nil
 }
@@ -377,6 +385,10 @@ func (vm *VM) AttachVirtioNet(port *vnet.Port) (*virtio.Net, *virtio.MMIODev, er
 		return nil, nil, err
 	}
 	n.Bind(d)
+	// Frames this VM defers at a switch carry its simulated send time, so
+	// epoch-barrier flushes deliver in guest-time order regardless of which
+	// worker ran which VM (see vnet.Switch.Flush).
+	port.SetClock(func() uint64 { return vm.CPU.Cycles })
 	vm.netPorts = append(vm.netPorts, port)
 	return n, d, nil
 }

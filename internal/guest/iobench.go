@@ -1,6 +1,7 @@
 package guest
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"govisor/internal/asm"
@@ -273,14 +274,39 @@ func BuildRegNICProgram(frames, frameLen uint64) ([]byte, error) {
 
 // BuildVirtioNetProgram emits a guest transmitting `frames` frames of
 // `frameLen` bytes through virtio-net, `batch` frames per kick. Frames are
-// contiguous (virtio-net header + payload) single-descriptor chains.
+// contiguous (virtio-net header + payload) single-descriptor chains with a
+// broadcast destination: the switch floods every frame instead of filtering
+// it as a hairpin.
 func BuildVirtioNetProgram(frames, batch, frameLen uint64, slot int) ([]byte, error) {
+	// Broadcast dst ff:ff:ff:ff:ff:ff plus a fixed locally-administered
+	// unicast src 02:00:00:00:00:01.
+	return buildVirtioNetTX(frames, batch, frameLen, slot,
+		[6]byte{0x02, 0, 0, 0, 0, 0x01}, [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+}
+
+// BuildVirtioNetUnicastProgram is BuildVirtioNetProgram with explicit
+// source and destination MACs, so frames steer through the switch FDB to a
+// specific peer instead of flooding — the sender half of the M9 dataplane
+// storm and the timestamp-ordering differential suite.
+func BuildVirtioNetUnicastProgram(frames, batch, frameLen uint64, slot int, src, dst [6]byte) ([]byte, error) {
+	return buildVirtioNetTX(frames, batch, frameLen, slot, src, dst)
+}
+
+func buildVirtioNetTX(frames, batch, frameLen uint64, slot int, src, dst [6]byte) ([]byte, error) {
 	if batch == 0 || frames == 0 || frames%batch != 0 {
 		return nil, fmt.Errorf("guest: frames %d not a multiple of batch %d", frames, batch)
 	}
 	if frameLen < 12 || frameLen > dev.MaxFrameSize {
 		return nil, fmt.Errorf("guest: frame length %d out of range", frameLen)
 	}
+	// The Ethernet header sits past the 12-byte virtio-net header: bytes
+	// 12..18 dst, 18..24 src. Emitted as two doubleword stores at buffer
+	// offsets 8 and 16 (bytes 8..12 are the virtio-net header's zero tail).
+	var hdr [24]byte
+	copy(hdr[12:18], dst[:])
+	copy(hdr[18:24], src[:])
+	hdrW1 := binary.LittleEndian.Uint64(hdr[8:16])
+	hdrW2 := binary.LittleEndian.Uint64(hdr[16:24])
 	num, err := ringFor(batch, 1)
 	if err != nil {
 		return nil, err
@@ -311,13 +337,11 @@ func BuildVirtioNetProgram(frames, batch, frameLen uint64, slot int) ([]byte, er
 	b.R(isa.OpMUL, isa.RegT4, isa.RegS4, isa.RegT3)
 	b.Li(isa.RegT3, ioDataBase)
 	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT3)
-	// Ethernet header past the 12-byte virtio-net header: broadcast dst
-	// plus a fixed locally-administered unicast src 02:00:00:00:00:01
-	// (the switch floods every frame instead of filtering it as a
-	// hairpin), then stamp a payload word so the switch sees fresh bytes.
-	b.Li(isa.RegT5, 0xFFFFFFFF00000000)
+	// Ethernet header words, then stamp a payload word so the switch sees
+	// fresh bytes.
+	b.Li(isa.RegT5, hdrW1)
 	b.Store(isa.OpSD, isa.RegT5, isa.RegT4, 8)
-	b.Li(isa.RegT5, 0x010000000002FFFF)
+	b.Li(isa.RegT5, hdrW2)
 	b.Store(isa.OpSD, isa.RegT5, isa.RegT4, 16)
 	b.Store(isa.OpSD, isa.RegS0, isa.RegT4, 24)
 	b.Store(isa.OpSD, isa.RegT4, isa.RegT2, 0)
@@ -352,6 +376,65 @@ func BuildVirtioNetProgram(frames, batch, frameLen uint64, slot int) ([]byte, er
 	b.Branch(isa.OpBLTU, isa.RegS0, isa.RegS1, "batch_loop")
 
 	emitMarker(b, 2)
+	b.Halt(0)
+	emitTrapStubBody(b)
+	return b.Finish()
+}
+
+// BuildVirtioNetRXProgram emits a passive receiver: it arms the virtio-net
+// RX queue, posts `bufs` device-writable buffers of `bufLen` bytes each,
+// kicks once and halts. Frames steered to it land in the posted buffers at
+// epoch barriers while the vCPU sits halted — the receiver half of the M9
+// dataplane storm and the timestamp-ordering differential suite (interrupts
+// on a halted vCPU only set the pending bit, so delivery order is observable
+// purely through guest memory).
+func BuildVirtioNetRXProgram(bufs, bufLen uint64, slot int) ([]byte, error) {
+	if bufs == 0 || bufLen < virtio.NetHeaderSize || bufLen > dev.MaxFrameSize+virtio.NetHeaderSize {
+		return nil, fmt.Errorf("guest: %d rx buffers of %d bytes out of range", bufs, bufLen)
+	}
+	num, err := ringFor(bufs, 1)
+	if err != nil {
+		return nil, err
+	}
+	descB, availB, usedB, _ := virtio.Layout(ioQueueBase, num)
+	devBase := uint64(dev.VirtioBase + slot*dev.VirtioStride)
+	bufStride := (bufLen + 63) &^ 63
+
+	b := asm.NewBuilder(gabi.KernelBase)
+	emitTrapStub(b)
+	emitQueueSetup(b, devBase, virtio.NetRXQueue, num, descB, availB, usedB)
+
+	b.Li(isa.RegS4, 0) // buffer index
+	b.Li(isa.RegS5, bufs)
+	b.Label("post_loop")
+	// desc[i] = {ioDataBase + i*stride, bufLen, WRITE, 0}.
+	b.I(isa.OpSLLI, isa.RegT2, isa.RegS4, 4)
+	b.Li(isa.RegT3, descB)
+	b.R(isa.OpADD, isa.RegT2, isa.RegT2, isa.RegT3)
+	b.Li(isa.RegT3, bufStride)
+	b.R(isa.OpMUL, isa.RegT4, isa.RegS4, isa.RegT3)
+	b.Li(isa.RegT3, ioDataBase)
+	b.R(isa.OpADD, isa.RegT4, isa.RegT4, isa.RegT3)
+	b.Store(isa.OpSD, isa.RegT4, isa.RegT2, 0)
+	b.Li(isa.RegT5, bufLen)
+	b.Store(isa.OpSW, isa.RegT5, isa.RegT2, 8)
+	b.Li(isa.RegT5, uint64(virtio.DescWrite))
+	b.Store(isa.OpSH, isa.RegT5, isa.RegT2, 12)
+	b.Store(isa.OpSH, isa.RegZero, isa.RegT2, 14)
+	// avail.ring[i] = i.
+	b.I(isa.OpSLLI, isa.RegT5, isa.RegS4, 1)
+	b.Li(isa.RegT3, availB+4)
+	b.R(isa.OpADD, isa.RegT5, isa.RegT5, isa.RegT3)
+	b.Store(isa.OpSH, isa.RegS4, isa.RegT5, 0)
+	b.I(isa.OpADDI, isa.RegS4, isa.RegS4, 1)
+	b.Branch(isa.OpBLTU, isa.RegS4, isa.RegS5, "post_loop")
+
+	// Publish all buffers, kick once, halt.
+	b.Li(isa.RegT3, availB)
+	b.Store(isa.OpSH, isa.RegS5, isa.RegT3, 2)
+	b.Li(isa.RegT0, devBase)
+	b.Li(isa.RegT1, virtio.NetRXQueue)
+	b.Store(isa.OpSW, isa.RegT1, isa.RegT0, virtio.RegNotify)
 	b.Halt(0)
 	emitTrapStubBody(b)
 	return b.Finish()

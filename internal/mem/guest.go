@@ -109,6 +109,14 @@ type GuestPhys struct {
 	wmemo  [wmemoSlots]writeMemo
 	wepoch uint64 // write-epoch counter (atomic)
 
+	// smemo is the DMA fast path: a direct-mapped cache of resolved span
+	// pages shared by ReadSpan, WriteSpan and ReadRaw. Like the write memo
+	// it validates against wepoch, so one epoch bump invalidates every
+	// entry; see span.go for the verdict argument. noSpanDMA selects the
+	// page-by-page reference arm (Config.NoSpanDMA).
+	smemo     [spanSlots]spanEntry
+	noSpanDMA bool
+
 	// Stats visible to experiments.
 	DirtySets   uint64 // writes that newly dirtied a page
 	COWBreaks   uint64
@@ -176,6 +184,9 @@ func NewGuestPhys(pool *Pool, size uint64) *GuestPhys {
 	}
 	for i := range g.rmemo {
 		g.rmemo[i].gfn = NoFrame
+	}
+	for i := range g.smemo {
+		g.smemo[i].gfn = NoFrame
 	}
 	for i := range g.wmemo {
 		// Published atomically like every other wmemo.gfn store: a memo
@@ -684,8 +695,16 @@ func (g *GuestPhys) WriteUintPriv(gpa uint64, size int, v uint64) *Fault {
 }
 
 // ReadRaw is Read without fault handling for VMM-internal use (migration,
-// snapshots) where pages are known present; unmapped pages read as zero.
+// snapshots) where pages are known present; unmapped pages read as zero. It
+// probes the span memo first — the migration page copier streams every page
+// of a round through here, and a valid entry serves the page as one memcpy —
+// installing on miss so the next round's copy of a stable page hits.
 func (g *GuestPhys) ReadRaw(gfn uint64, buf []byte) {
+	e := &g.smemo[gfn&(spanSlots-1)]
+	if e.gfn == gfn && e.epoch == atomic.LoadUint64(&g.wepoch) {
+		copy(buf, e.data)
+		return
+	}
 	hfn := g.Frame(gfn)
 	if hfn == NoFrame {
 		for i := range buf {
@@ -693,7 +712,16 @@ func (g *GuestPhys) ReadRaw(gfn uint64, buf []byte) {
 		}
 		return
 	}
-	g.pool.ReadAt(hfn, 0, buf)
+	if data := g.pool.Data(hfn); data != nil {
+		copy(buf, data)
+		if !g.noSpanDMA {
+			*e = spanEntry{gfn: gfn, epoch: atomic.LoadUint64(&g.wepoch), data: data}
+		}
+		return
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
 }
 
 // WriteRaw installs page content at gfn, populating if needed, bypassing

@@ -156,8 +156,18 @@ func (d *MMIODev) MMIOWrite(off uint64, size int, v uint64) {
 		qi := int(v)
 		if qi < len(d.queues) && d.queues[qi].Ready() {
 			d.Notifies++
-			d.queues[qi].Kicks++
-			d.backend.Process(&d.queues[qi], qi)
+			q := &d.queues[qi]
+			q.Kicks++
+			before := q.usedIdx
+			d.backend.Process(q, qi)
+			// Completions the backend did not signal — malformed chains
+			// finished inside Pop on a kick whose every chain was bad —
+			// must still interrupt the guest, or a driver sleeping on the
+			// used ring hangs forever. Idempotent when the bit is already
+			// pending.
+			if q.usedIdx != before && d.intStatus&1 == 0 {
+				d.SignalUsed()
+			}
 		}
 	case RegIntAck:
 		d.intStatus &^= v

@@ -27,10 +27,15 @@ type Net struct {
 	rxBacklog [][]byte
 
 	// Stats.
-	TxFrames, RxFrames, RxDropped uint64
+	TxFrames, RxFrames, RxDropped, TxDropped uint64
 }
 
 const netBacklogDepth = 256
+
+// maxTxFrame bounds one TX chain's readable bytes (64 KiB covers the largest
+// TSO-style frame). A malformed descriptor advertising a multi-gigabyte
+// length must not size a host allocation.
+const maxTxFrame = 64 << 10
 
 // NewNet creates the model over a link (a vnet switch port).
 func NewNet(link NetBackend) *Net {
@@ -72,21 +77,44 @@ func (n *Net) processTX(q *Queue) {
 			break
 		}
 		total := ch.ReadLen()
-		if total > NetHeaderSize {
+		switch {
+		case total > maxTxFrame:
+			// Malformed length: a guest-advertised multi-gigabyte chain must
+			// neither size a host allocation nor reach the wire.
+			n.TxDropped++
+		case total > NetHeaderSize:
 			buf := make([]byte, total)
 			off := 0
+			faulted := false
 			for _, d := range ch.Buf {
 				if d.Device {
 					continue
 				}
-				q.ReadFrom(d, buf[off:off+int(d.Len)])
-				off += int(d.Len)
+				nb := int(d.Len)
+				if nb > len(buf)-off {
+					// The uint32 length sum wrapped: individual descriptors
+					// carry more bytes than the chain's total claims.
+					faulted = true
+					break
+				}
+				if err := q.ReadFrom(d, buf[off:off+nb]); err != nil {
+					faulted = true
+					break
+				}
+				off += nb
 			}
-			frame := buf[NetHeaderSize:]
-			if n.link != nil {
-				n.link.Send(frame)
+			if faulted {
+				// A descriptor aimed at faulting memory: transmitting the
+				// zero-filled remainder would put a frame the guest never
+				// wrote on the wire. Drop it; the chain still completes.
+				n.TxDropped++
+			} else {
+				frame := buf[NetHeaderSize:]
+				if n.link != nil {
+					n.link.Send(frame)
+				}
+				n.TxFrames++
 			}
-			n.TxFrames++
 		}
 		q.Push(ch.Head, 0)
 		completed = true

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"govisor/internal/isa"
 	"govisor/internal/mem"
 )
 
@@ -83,8 +84,16 @@ type Queue struct {
 
 	lastAvail uint16
 
+	// usedIdx is the device-owned shadow of the used-ring producer index.
+	// The device never re-reads the index from guest memory: a guest (or a
+	// corruption) scribbling used.idx would otherwise redirect completions
+	// over arbitrary slots, and a read fault would return 0 and pin every
+	// completion to slot 0. The shadow advances monotonically and is written
+	// out on each Push.
+	usedIdx uint16
+
 	// Stats.
-	Kicks, Chains uint64
+	Kicks, Chains, Malformed uint64
 }
 
 // Configure points the queue at guest memory. num must be a power of two.
@@ -97,6 +106,7 @@ func (q *Queue) Configure(g *mem.GuestPhys, num uint16, desc, avail, used uint64
 	q.desc, q.avail, q.used = desc, avail, used
 	q.ready = true
 	q.lastAvail = 0
+	q.usedIdx = 0
 	return nil
 }
 
@@ -122,22 +132,37 @@ func (q *Queue) Pending() bool {
 	return q.ready && q.availIdx() != q.lastAvail
 }
 
-// Pop fetches the next available chain, resolving its descriptors.
+// Pop fetches the next well-formed available chain, resolving its
+// descriptors. Malformed chains — a descriptor-read fault, or a chain longer
+// than the ring (a cycle, necessarily) — are completed immediately with
+// written=0 and counted in Malformed, so the guest's descriptors return to
+// the used ring instead of leaking until the ring wedges; Pop then moves on
+// to the next pending chain.
 func (q *Queue) Pop() (Chain, bool) {
-	if !q.Pending() {
-		return Chain{}, false
+	for q.Pending() {
+		slot := uint64(q.lastAvail % q.num)
+		head := q.read16(q.avail + 4 + 2*slot)
+		q.lastAvail++
+		if ch, ok := q.resolve(head); ok {
+			q.Chains++
+			return ch, true
+		}
+		q.Malformed++
+		q.Push(head, 0)
 	}
-	slot := uint64(q.lastAvail % q.num)
-	head := q.read16(q.avail + 4 + 2*slot)
-	q.lastAvail++
+	return Chain{}, false
+}
 
-	var ch Chain
-	ch.Head = head
+// resolve walks one descriptor chain from head. A chain may reference each
+// of the ring's num descriptors at most once, so num hops is the longest
+// well-formed walk; the num+1th hop proves a cycle.
+func (q *Queue) resolve(head uint16) (Chain, bool) {
+	ch := Chain{Head: head}
 	idx := head
-	for hops := 0; hops <= int(q.num); hops++ {
+	for hops := 0; hops < int(q.num); hops++ {
 		d := q.desc + uint64(idx%q.num)*descSize
 		var raw [descSize]byte
-		if f := q.g.Read(d, raw[:]); f != nil {
+		if f := q.g.ReadSpan(d, raw[:]); f != nil {
 			return ch, false
 		}
 		addr := binary.LittleEndian.Uint64(raw[0:])
@@ -146,26 +171,26 @@ func (q *Queue) Pop() (Chain, bool) {
 		next := binary.LittleEndian.Uint16(raw[14:])
 		ch.Buf = append(ch.Buf, DescBuf{Addr: addr, Len: length, Device: flags&DescWrite != 0})
 		if flags&DescNext == 0 {
-			q.Chains++
 			return ch, true
 		}
 		idx = next
 	}
-	// Cycle in the chain: malformed guest; drop it.
-	return Chain{}, false
+	return ch, false
 }
 
-// Push records a completed chain in the used ring.
+// Push records a completed chain in the used ring, advancing the
+// device-owned shadow producer index (see usedIdx — guest memory is written,
+// never read back).
 func (q *Queue) Push(head uint16, written uint32) {
-	usedIdx := q.read16(q.used + 2)
-	slot := uint64(usedIdx % q.num)
+	slot := uint64(q.usedIdx % q.num)
 	entry := q.used + 4 + 8*slot
 	q.g.WriteUintPriv(entry, 4, uint64(head))
 	q.g.WriteUintPriv(entry+4, 4, uint64(written))
-	q.g.WriteUintPriv(q.used+2, 2, uint64(usedIdx+1))
+	q.usedIdx++
+	q.g.WriteUintPriv(q.used+2, 2, uint64(q.usedIdx))
 }
 
-// UsedIdx returns the device's producer index (guest-visible).
+// UsedIdx returns the device's producer index as the guest observes it.
 func (q *Queue) UsedIdx() uint16 { return q.read16(q.used + 2) }
 
 // ensure demand-populates the pages under a DMA target: device access to a
@@ -175,34 +200,35 @@ func (q *Queue) ensure(gpa uint64, n int) {
 	if n <= 0 {
 		return
 	}
-	for p := gpa >> 12; p <= (gpa+uint64(n)-1)>>12; p++ {
+	for p := gpa >> isa.PageShift; p <= (gpa+uint64(n)-1)>>isa.PageShift; p++ {
 		if err := q.g.Populate(p); err != nil {
 			return // out of range or pool exhausted: the access will fault
 		}
 	}
 }
 
-// ReadFrom copies a descriptor buffer out of guest memory.
+// ReadFrom copies a descriptor buffer out of guest memory through the span
+// memo: each page resolves once per epoch instead of once per access.
 func (q *Queue) ReadFrom(b DescBuf, buf []byte) error {
 	n := int(b.Len)
 	if n > len(buf) {
 		n = len(buf)
 	}
 	q.ensure(b.Addr, n)
-	if f := q.g.Read(b.Addr, buf[:n]); f != nil {
+	if f := q.g.ReadSpan(b.Addr, buf[:n]); f != nil {
 		return f
 	}
 	return nil
 }
 
-// WriteTo copies data into a device-writable buffer.
+// WriteTo copies data into a device-writable buffer through the span memo.
 func (q *Queue) WriteTo(b DescBuf, data []byte) error {
 	n := len(data)
 	if n > int(b.Len) {
 		n = int(b.Len)
 	}
 	q.ensure(b.Addr, n)
-	if f := q.g.Write(b.Addr, data[:n]); f != nil {
+	if f := q.g.WriteSpan(b.Addr, data[:n]); f != nil {
 		return f
 	}
 	return nil

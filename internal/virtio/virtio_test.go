@@ -399,4 +399,12 @@ func TestQueueMalformedChainCycle(t *testing.T) {
 	if _, ok := q.Pop(); ok {
 		t.Fatal("cyclic chain must be rejected")
 	}
+	// The malformed chain completes instead of leaking: its head lands in
+	// the used ring with written=0 and the stat records the event.
+	if q.Malformed != 1 {
+		t.Fatalf("Malformed = %d, want 1", q.Malformed)
+	}
+	if q.UsedIdx() != 1 {
+		t.Fatalf("used idx = %d, want 1 (cyclic chain must still complete)", q.UsedIdx())
+	}
 }

@@ -4,10 +4,22 @@
 // forwards unicast frames to the learned port, flooding unknown and
 // broadcast destinations. Delivery is synchronous and deterministic, which
 // keeps the networking experiments reproducible.
+//
+// Two properties make the switch fleet-scale:
+//
+//   - Deferred frames carry the sender's simulated-cycle timestamp, and
+//     Flush delivers in (timestamp, port id, send order). Arrival order
+//     reflects simulated time — not worker interleaving and not flat port
+//     order — so it is invariant across RunParallel worker counts and
+//     matches what a serial run observes at the same simulated instant.
+//   - The forwarding database is sharded by MAC and the port list is an
+//     atomic snapshot, so forwards from thousands of ports never serialize
+//     on one switch-wide mutex.
 package vnet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -28,28 +40,46 @@ func MACForVM(id uint32) MAC {
 	return MAC{0x02, 0x67, 0x76, byte(id >> 16), byte(id >> 8), byte(id)}
 }
 
+// pendingFrame is one deferred frame plus the simulated cycle at which its
+// owner sent it.
+type pendingFrame struct {
+	data  []byte
+	stamp uint64
+}
+
 // Port is one switch attachment point. It satisfies dev.NetBackend.
 type Port struct {
 	sw       *Switch
 	id       int
 	receiver func(frame []byte)
-	pending  [][]byte // frames queued while the switch defers delivery
+	clock    func() uint64  // sender's simulated-cycle source; nil stamps 0
+	pending  []pendingFrame // frames queued while the switch defers delivery
 
 	TxFrames, RxFrames uint64
 }
 
 // Send transmits a frame from this port into the switch. With the switch in
 // deferred mode the frame is queued on the sending port instead (owner-only
-// state, so concurrent VM workers never contend) and delivered by the next
-// Flush.
+// state, so concurrent VM workers never contend), stamped with the sender's
+// simulated cycle, and delivered by the next Flush in timestamp order.
 func (p *Port) Send(frame []byte) {
 	p.TxFrames++
 	if p.sw.deferred.Load() {
-		p.pending = append(p.pending, append([]byte(nil), frame...))
+		var stamp uint64
+		if p.clock != nil {
+			stamp = p.clock()
+		}
+		p.pending = append(p.pending, pendingFrame{data: append([]byte(nil), frame...), stamp: stamp})
 		return
 	}
 	p.sw.forward(p, frame)
 }
+
+// SetClock registers the simulated-cycle source used to stamp deferred
+// frames. Ports without a clock stamp 0, which sorts ahead of every clocked
+// frame and (via the port-id/send-order tie-break) reproduces plain port
+// order among themselves.
+func (p *Port) SetClock(fn func() uint64) { p.clock = fn }
 
 // SetReceiver registers the frame sink for this port.
 func (p *Port) SetReceiver(fn func(frame []byte)) { p.receiver = fn }
@@ -64,36 +94,88 @@ func (p *Port) deliver(frame []byte) {
 	}
 }
 
+// fdbShards must be a power of two; 16 keeps shard contention negligible for
+// thousands of ports while the per-shard maps stay cache-friendly.
+const fdbShards = 16
+
+// fdbShard is one slice of the forwarding database.
+type fdbShard struct {
+	mu sync.Mutex
+	m  map[MAC]*Port
+}
+
+// fdbIndex hashes all six address bytes so sequential MACForVM addresses
+// (which differ only in their low bytes) spread across shards.
+func fdbIndex(mac MAC) int {
+	h := uint32(2166136261)
+	for _, b := range mac {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return int(h & (fdbShards - 1))
+}
+
 // Switch is a learning L2 switch.
 type Switch struct {
-	mu       sync.Mutex
-	ports    []*Port
-	fdb      map[MAC]*Port // forwarding database: learned source → port
+	mu       sync.Mutex // port registration only
+	ports    atomic.Pointer[[]*Port]
+	shards   [fdbShards]fdbShard
 	deferred atomic.Bool
 
-	// Stats.
+	// Stats, atomically updated: forwards from different ports touch
+	// disjoint FDB shards concurrently in synchronous mode.
 	Forwarded, Flooded, Dropped uint64
 }
 
 // NewSwitch creates an empty switch.
 func NewSwitch() *Switch {
-	return &Switch{fdb: make(map[MAC]*Port)}
+	s := &Switch{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[MAC]*Port)
+	}
+	s.ports.Store(&[]*Port{})
+	return s
 }
 
-// NewPort attaches a new port.
+// NewPort attaches a new port. Registration copies the port snapshot so
+// forwards read it lock-free.
 func (s *Switch) NewPort() *Port {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	p := &Port{sw: s, id: len(s.ports)}
-	s.ports = append(s.ports, p)
+	old := *s.ports.Load()
+	p := &Port{sw: s, id: len(old)}
+	next := make([]*Port, len(old)+1)
+	copy(next, old)
+	next[len(old)] = p
+	s.ports.Store(&next)
 	return p
 }
 
 // Ports returns the number of attached ports.
-func (s *Switch) Ports() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.ports)
+func (s *Switch) Ports() int { return len(*s.ports.Load()) }
+
+// Learn installs a static forwarding entry: frames addressed to mac unicast
+// to p without waiting for p to transmit. Purely passive receivers (a VM
+// that only posts RX buffers) are otherwise unreachable except by flood.
+func (s *Switch) Learn(mac MAC, p *Port) {
+	sh := &s.shards[fdbIndex(mac)]
+	sh.mu.Lock()
+	sh.m[mac] = p
+	sh.mu.Unlock()
+}
+
+// lookup consults the FDB shard for mac.
+func (s *Switch) lookup(mac MAC) (*Port, bool) {
+	sh := &s.shards[fdbIndex(mac)]
+	sh.mu.Lock()
+	p, ok := sh.m[mac]
+	sh.mu.Unlock()
+	return p, ok
+}
+
+// Stats returns the forwarding counters with atomic loads, safe to call
+// while forwards are in flight.
+func (s *Switch) Stats() (forwarded, flooded, dropped uint64) {
+	return atomic.LoadUint64(&s.Forwarded), atomic.LoadUint64(&s.Flooded), atomic.LoadUint64(&s.Dropped)
 }
 
 func frameMACs(frame []byte) (dst, src MAC, ok bool) {
@@ -106,46 +188,37 @@ func frameMACs(frame []byte) (dst, src MAC, ok bool) {
 }
 
 func (s *Switch) forward(from *Port, frame []byte) {
-	s.mu.Lock()
 	dst, src, ok := frameMACs(frame)
 	if !ok {
-		s.Dropped++
-		s.mu.Unlock()
+		atomic.AddUint64(&s.Dropped, 1)
 		return
 	}
 	// Learn only unicast sources: a broadcast (or multicast) source MAC is
 	// never a legitimate station address, and learning it would let a
 	// later frame *to* the broadcast group-bit space unicast-forward.
 	if src[0]&1 == 0 {
-		s.fdb[src] = from
+		s.Learn(src, from)
 	}
-	var targets []*Port
 	if dst != Broadcast {
-		if p, known := s.fdb[dst]; known {
+		if p, known := s.lookup(dst); known {
 			if p == from {
 				// Hairpin: the destination lives on the sending port. A
 				// real switch filters these; flooding them (the old
 				// behaviour) duplicated the frame to every other segment.
-				s.Dropped++
-				s.mu.Unlock()
+				atomic.AddUint64(&s.Dropped, 1)
 				return
 			}
-			targets = []*Port{p}
-			s.Forwarded++
+			atomic.AddUint64(&s.Forwarded, 1)
+			p.deliver(frame)
+			return
 		}
 	}
-	if targets == nil {
-		// Flood: every port except the sender.
-		s.Flooded++
-		for _, p := range s.ports {
-			if p != from {
-				targets = append(targets, p)
-			}
+	// Flood: every port except the sender.
+	atomic.AddUint64(&s.Flooded, 1)
+	for _, p := range *s.ports.Load() {
+		if p != from {
+			p.deliver(frame)
 		}
-	}
-	s.mu.Unlock()
-	for _, p := range targets {
-		p.deliver(frame)
 	}
 }
 
@@ -154,7 +227,7 @@ func (s *Switch) forward(from *Port, frame []byte) {
 // execution: Send queues on the sending port and Flush — called serially at
 // the epoch barrier — performs the actual forwarding. Deferral makes inter-
 // VM traffic independent of worker interleaving: frames are delivered in
-// (port id, send order) rather than in goroutine arrival order.
+// (timestamp, port id, send order) rather than in goroutine arrival order.
 // core.Host.RunParallel flips every switch its VMs attach to into deferred
 // mode automatically for the duration of the run.
 //
@@ -164,25 +237,43 @@ func (s *Switch) SetDeferred(on bool) { s.deferred.Store(on) }
 // Deferred reports the current delivery mode.
 func (s *Switch) Deferred() bool { return s.deferred.Load() }
 
-// Flush forwards every queued frame, walking ports in id order. It must be
+// flushEntry pairs a queued frame with its delivery-order key.
+type flushEntry struct {
+	port  *Port
+	frame pendingFrame
+	seq   int // send order within the owning port
+}
+
+// Flush forwards every queued frame in (timestamp, port id, send order):
+// arrival order reflects the simulated instant each frame was sent, with the
+// port id and per-port send order as deterministic tie-breaks. It must be
 // called from the epoch barrier (or any other single-threaded context) and
 // returns the number of frames delivered to the switch.
 //
 //govisor:serialonly(delivers into every attached VM's RX ring; barrier-only)
 func (s *Switch) Flush() int {
-	s.mu.Lock()
-	ports := append([]*Port(nil), s.ports...)
-	s.mu.Unlock()
-	n := 0
-	for _, p := range ports {
+	var entries []flushEntry
+	for _, p := range *s.ports.Load() {
 		pending := p.pending
 		p.pending = nil
-		for _, frame := range pending {
-			s.forward(p, frame)
-			n++
+		for i, f := range pending {
+			entries = append(entries, flushEntry{port: p, frame: f, seq: i})
 		}
 	}
-	return n
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.frame.stamp != b.frame.stamp {
+			return a.frame.stamp < b.frame.stamp
+		}
+		if a.port.id != b.port.id {
+			return a.port.id < b.port.id
+		}
+		return a.seq < b.seq
+	})
+	for _, e := range entries {
+		s.forward(e.port, e.frame.data)
+	}
+	return len(entries)
 }
 
 // BuildFrame assembles dst|src|payload.

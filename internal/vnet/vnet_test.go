@@ -224,3 +224,68 @@ func TestDeferredDeliveryFlushesInPortOrder(t *testing.T) {
 		t.Fatalf("empty flush delivered %d", n)
 	}
 }
+
+// TestFlushDeliversInTimestampOrder: ports with clocks stamp each deferred
+// frame with the sender's simulated cycle, and Flush sorts by (timestamp,
+// port id, send order). A frame sent "earlier in simulated time" from a
+// higher-id port must arrive before a later frame from a lower-id port —
+// arrival order reflects simulated time, not the flat port walk.
+func TestFlushDeliversInTimestampOrder(t *testing.T) {
+	sw := NewSwitch()
+	a, b, c := sw.NewPort(), sw.NewPort(), sw.NewPort()
+	var got []string
+	c.SetReceiver(func(f []byte) { got = append(got, string(f[12:])) })
+	macA, macB, macC := MACForVM(1), MACForVM(2), MACForVM(3)
+	sw.Learn(macC, c)
+
+	var cycA, cycB uint64
+	a.SetClock(func() uint64 { return cycA })
+	b.SetClock(func() uint64 { return cycB })
+
+	sw.SetDeferred(true)
+	cycA = 200
+	a.Send(BuildFrame(macC, macA, []byte("a@200")))
+	cycA = 250
+	a.Send(BuildFrame(macC, macA, []byte("a@250")))
+	cycB = 100
+	b.Send(BuildFrame(macC, macB, []byte("b@100")))
+	cycB = 200 // ties with a@200: port id breaks the tie, a first
+	b.Send(BuildFrame(macC, macB, []byte("b@200")))
+	if n := sw.Flush(); n != 4 {
+		t.Fatalf("flushed %d frames, want 4", n)
+	}
+	sw.SetDeferred(false)
+
+	want := []string{"b@100", "a@200", "b@200", "a@250"}
+	if len(got) != len(want) {
+		t.Fatalf("received %d frames, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("frame %d = %q, want %q (full order %v)", i, got[i], w, got)
+		}
+	}
+}
+
+// TestLearnStaticEntry: a static FDB entry makes a purely passive port
+// reachable by unicast without it ever transmitting.
+func TestLearnStaticEntry(t *testing.T) {
+	sw := NewSwitch()
+	a, b, c := sw.NewPort(), sw.NewPort(), sw.NewPort()
+	nB, nC := 0, 0
+	b.SetReceiver(func([]byte) { nB++ })
+	c.SetReceiver(func([]byte) { nC++ })
+	macB := MACForVM(2)
+	sw.Learn(macB, b)
+	a.Send(BuildFrame(macB, MACForVM(1), []byte("hi")))
+	if nB != 1 || nC != 0 {
+		t.Fatalf("static unicast: B=%d C=%d, want 1/0", nB, nC)
+	}
+	if sw.Forwarded != 1 || sw.Flooded != 0 {
+		t.Fatalf("stats fwd=%d flood=%d", sw.Forwarded, sw.Flooded)
+	}
+	fwd, fl, dr := sw.Stats()
+	if fwd != 1 || fl != 0 || dr != 0 {
+		t.Fatalf("Stats() = %d/%d/%d", fwd, fl, dr)
+	}
+}
